@@ -1,0 +1,51 @@
+"""E9 — ablation: the erasure-coded broadcast inside the stack (Section 7.1).
+
+Design-choice claim: instantiating Gather/PE/NWH's broadcasts with the
+Cachin-Tessaro protocol (rather than plain Bracha) is what brings the
+stack from ``Ω(n⁴)`` to ``Õ(n³)``, because the broadcast payloads are
+O(n)-word transcripts and index sets.
+
+Measured: full A-DKG words with ``ct`` vs ``bracha`` broadcasts injected
+throughout; the bracha/ct ratio grows with ``n``.
+"""
+
+import pytest
+
+from repro.analysis.complexity import fit_power_law
+from repro.analysis.experiments import run_rbc_ablation
+
+from conftest import once, record
+
+
+@pytest.mark.benchmark(group="E9-ablation")
+def test_e9_ct_vs_bracha_inside_adkg(benchmark, fast_mode):
+    ns = (4, 7) if fast_mode else (4, 7, 10)
+    rows = once(benchmark, lambda: run_rbc_ablation(ns))
+    record(benchmark, rows=rows)
+    ratios = []
+    for n in ns:
+        ct = next(r for r in rows if r["kind"] == "ct" and r["n"] == n)
+        bracha = next(r for r in rows if r["kind"] == "bracha" and r["n"] == n)
+        ratios.append(bracha["mean_words"] / ct["mean_words"])
+    record(benchmark, ratios=ratios)
+    # The ablated (bracha) stack gets relatively worse as n grows.
+    assert ratios[-1] > ratios[0]
+
+
+@pytest.mark.benchmark(group="E9-ablation")
+def test_e9_bracha_stack_scales_worse(benchmark, fast_mode):
+    ns = (4, 7) if fast_mode else (4, 7, 10, 13)
+    rows = once(benchmark, lambda: run_rbc_ablation(ns))
+    record(benchmark, rows=rows)
+    if len(ns) < 3:
+        pytest.skip("need >= 3 points for a fit")
+    ct_rows = [r for r in rows if r["kind"] == "ct"]
+    bracha_rows = [r for r in rows if r["kind"] == "bracha"]
+    ct_fit = fit_power_law(
+        [r["n"] for r in ct_rows], [r["mean_words"] for r in ct_rows]
+    )
+    bracha_fit = fit_power_law(
+        [r["n"] for r in bracha_rows], [r["mean_words"] for r in bracha_rows]
+    )
+    record(benchmark, slope_ct=ct_fit.exponent, slope_bracha=bracha_fit.exponent)
+    assert bracha_fit.exponent > ct_fit.exponent

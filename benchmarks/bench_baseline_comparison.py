@@ -1,0 +1,59 @@
+"""E7 — the headline comparison (Section 1 / Section 1.3).
+
+Paper claim: prior leaderless A-DKG (Kokoris-Kogias et al. [29]) costs
+``Ω(n⁴)`` expected words where this work costs ``Õ(n³)``; the gap grows
+linearly in ``n``.
+
+Measured against the structurally analogous baseline
+(:mod:`repro.baselines.kms_adkg`): the baseline/ours word ratio grows
+monotonically with ``n`` (≈ n/log n shape) and crosses 1 near n ≈ 14 —
+the paper's protocol pays larger constants (PE deals n² transcripts per
+view) but wins asymptotically, which is exactly the claim being tested.
+"""
+
+import pytest
+
+from repro.analysis.complexity import fit_power_law
+from repro.analysis.experiments import run_baseline_comparison
+
+from conftest import once, record
+
+
+@pytest.mark.benchmark(group="E7-baseline")
+def test_e7_word_ratio_grows_with_n(benchmark, fast_mode):
+    ns = (4, 7, 10) if fast_mode else (4, 7, 10, 13, 16)
+    rows = once(benchmark, lambda: run_baseline_comparison(ns))
+    record(benchmark, rows=rows)
+    ratios = [row["word_ratio"] for row in rows]
+    record(benchmark, ratios=ratios)
+    assert all(b > a for a, b in zip(ratios, ratios[1:])), ratios
+    if not fast_mode:
+        # Crossover: by n = 16 the baseline costs more in absolute terms.
+        assert ratios[-1] > 1.0
+
+
+@pytest.mark.benchmark(group="E7-baseline")
+def test_e7_scaling_exponents_differ(benchmark, fast_mode):
+    ns = (4, 7, 10) if fast_mode else (4, 7, 10, 13)
+    rows = once(benchmark, lambda: run_baseline_comparison(ns))
+    record(benchmark, rows=rows)
+    ours = fit_power_law([r["n"] for r in rows], [r["ours_words"] for r in rows])
+    base = fit_power_law(
+        [r["n"] for r in rows], [r["baseline_words"] for r in rows]
+    )
+    record(benchmark, slope_ours=ours.exponent, slope_baseline=base.exponent)
+    # Ω(n⁴) vs Õ(n³): the baseline's exponent is clearly larger.  (At
+    # n ≤ 13 the baseline's n⁴ broadcast term is still diluted by its
+    # ~n³ ABA machinery, so the measured gap sits near 0.5 and keeps
+    # widening with n.)
+    assert base.exponent > ours.exponent + 0.3
+    assert base.exponent > 3.5
+    assert ours.exponent < 3.5
+
+
+@pytest.mark.benchmark(group="E7-baseline")
+def test_e7_rounds_ours_constant(benchmark):
+    rows = once(benchmark, lambda: run_baseline_comparison((4, 7, 10)))
+    record(benchmark, rows=rows)
+    ours = [row["ours_rounds"] for row in rows]
+    assert max(ours) / min(ours) <= 1.5

@@ -1,0 +1,72 @@
+"""E1 — Theorem 6: reliable broadcast word complexity.
+
+Paper claim: the Cachin-Tessaro broadcast of an ``m``-word message costs
+``O(n²·(c+p) + m·n)`` words (``c``: commitment = 1 word, ``p``: Merkle
+proof = log n words), versus Bracha's ``O(n²·m)``.
+
+Regenerated series: words vs ``m`` at fixed ``n`` (both linear, CT's
+slope-in-m smaller by ~n/(f+1)); words vs ``n`` at fixed small ``m``
+(CT ≈ n² log n); the CT-vs-Bracha ratio growing with ``n`` for large
+messages and the crossover for small messages.
+"""
+
+import pytest
+
+from repro.analysis.complexity import fit_power_law
+from repro.analysis.experiments import run_broadcast_experiment
+
+from conftest import once, record
+
+
+@pytest.mark.benchmark(group="E1-broadcast")
+def test_e1_words_vs_message_size(benchmark):
+    ns = (7,)
+    ms = (16, 64, 256, 1024)
+    rows = once(benchmark, lambda: run_broadcast_experiment(ns, ms))
+    record(benchmark, rows=rows)
+    for kind in ("ct", "bracha"):
+        series = [r for r in rows if r["kind"] == kind]
+        fit = fit_power_law([r["m"] for r in series], [r["words"] for r in series])
+        record(benchmark, **{f"slope_m_{kind}": fit.exponent})
+        # Both protocols are asymptotically linear in m.
+        assert 0.5 < fit.exponent < 1.3, (kind, fit)
+    # CT moves ~m·n words where Bracha moves ~m·n²: factor ≈ n/(f+1)·... > 2
+    ct_big = next(r for r in rows if r["kind"] == "ct" and r["m"] == 1024)
+    bracha_big = next(r for r in rows if r["kind"] == "bracha" and r["m"] == 1024)
+    assert ct_big["words"] * 2 < bracha_big["words"]
+
+
+@pytest.mark.benchmark(group="E1-broadcast")
+def test_e1_words_vs_n_small_message(benchmark):
+    ns = (4, 7, 13, 25)
+    rows = once(benchmark, lambda: run_broadcast_experiment(ns, (4,), kinds=("ct",)))
+    record(benchmark, rows=rows)
+    fit = fit_power_law([r["n"] for r in rows], [r["words"] for r in rows])
+    record(benchmark, slope_n_ct=fit.exponent, r2=fit.r_squared)
+    # O(n² log n): slope a bit above 2.
+    assert 1.7 < fit.exponent < 2.8, fit
+
+
+@pytest.mark.benchmark(group="E1-broadcast")
+def test_e1_ct_advantage_grows_with_n(benchmark):
+    ns = (4, 7, 13)
+    rows = once(benchmark, lambda: run_broadcast_experiment(ns, (512,)))
+    record(benchmark, rows=rows)
+    ratios = []
+    for n in ns:
+        ct = next(r for r in rows if r["kind"] == "ct" and r["n"] == n)
+        bracha = next(r for r in rows if r["kind"] == "bracha" and r["n"] == n)
+        ratios.append(bracha["words"] / ct["words"])
+    record(benchmark, ratios=ratios)
+    assert ratios[-1] > ratios[0]
+
+
+@pytest.mark.benchmark(group="E1-broadcast")
+def test_e1_constant_rounds(benchmark):
+    ns = (4, 7, 13, 25)
+    rows = once(benchmark, lambda: run_broadcast_experiment(ns, (16,), kinds=("ct",)))
+    record(benchmark, rows=rows)
+    rounds = [r["rounds"] for r in rows]
+    # 3 message hops (VAL, ECHO, READY) regardless of n.
+    assert max(rounds) <= 4.0
+    assert max(rounds) - min(rounds) <= 1.0

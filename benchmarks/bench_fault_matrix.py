@@ -1,0 +1,35 @@
+"""E8 — safety/liveness of the full A-DKG under the fault matrix.
+
+Paper claims (Theorems 1, 3, 4, 5): agreement, external validity and
+almost-sure termination hold for any f < n/3 Byzantine parties and any
+asynchronous schedule.  The matrix exercises crash, silence, message
+dropping, invalid PVSS shares and adversarial lag scheduling.
+"""
+
+import pytest
+
+from repro.analysis.experiments import run_fault_matrix
+
+from conftest import once, record
+
+
+@pytest.mark.benchmark(group="E8-faults")
+def test_e8_fault_matrix_n4(benchmark):
+    rows = once(benchmark, lambda: run_fault_matrix(n=4, seed=1))
+    record(benchmark, rows=rows)
+    for row in rows:
+        assert row["agreement"], row
+        assert row["valid"], row
+        expected_honest = 4 if row["fault"].startswith("lag") or row["fault"] == "none" else 3
+        assert row["honest_outputs"] == expected_honest, row
+
+
+@pytest.mark.benchmark(group="E8-faults")
+def test_e8_fault_matrix_n7(benchmark, fast_mode):
+    if fast_mode:
+        pytest.skip("fast mode")
+    rows = once(benchmark, lambda: run_fault_matrix(n=7, seed=2))
+    record(benchmark, rows=rows)
+    for row in rows:
+        assert row["agreement"], row
+        assert row["valid"], row

@@ -1,0 +1,51 @@
+"""E2 — Theorem 7: Verifiable Gather sends ``O(n·b(m))`` words.
+
+With the CT broadcast, ``b(m) = O(n² log n + m·n)``, so Gather is
+``O(n³ log n + m·n²)``; rounds are constant (3 broadcast stages).
+Regenerated series: words vs ``n`` (cubic-ish slope), words vs ``m``
+(linear), constant rounds, and the common-core size ≥ n - f.
+"""
+
+import pytest
+
+from repro.analysis.complexity import fit_power_law
+from repro.analysis.experiments import run_gather_experiment
+
+from conftest import once, record
+
+
+@pytest.mark.benchmark(group="E2-gather")
+def test_e2_words_vs_n(benchmark):
+    ns = (4, 7, 10, 13)
+    rows = once(benchmark, lambda: run_gather_experiment(ns))
+    record(benchmark, rows=rows)
+    fit = fit_power_law([r["n"] for r in rows], [r["words"] for r in rows])
+    record(benchmark, slope_n=fit.exponent, r2=fit.r_squared)
+    # Õ(n³): slope around 3 (log factor pushes it slightly above).
+    assert 2.5 < fit.exponent < 3.9, fit
+    assert fit.r_squared > 0.98
+
+
+@pytest.mark.benchmark(group="E2-gather")
+def test_e2_words_vs_m(benchmark):
+    rows = once(
+        benchmark, lambda: run_gather_experiment((7,), message_words=(1, 64, 512))
+    )
+    record(benchmark, rows=rows)
+    big, small = rows[-1], rows[0]
+    growth = (big["words"] - small["words"]) / (big["m"] - small["m"])
+    record(benchmark, words_per_message_word=growth)
+    # Linear in m with coefficient ~n² / (f+1) ≈ O(n): far below n²·3n.
+    assert growth < 7 * 7 * 3
+
+
+@pytest.mark.benchmark(group="E2-gather")
+def test_e2_constant_rounds_and_core(benchmark):
+    ns = (4, 7, 10, 13)
+    rows = once(benchmark, lambda: run_gather_experiment(ns))
+    record(benchmark, rows=rows)
+    rounds = [r["rounds"] for r in rows]
+    assert max(rounds) - min(rounds) <= 2.0
+    for row in rows:
+        n = row["n"]
+        assert row["core_size"] >= n - (n - 1) // 3

@@ -1,0 +1,63 @@
+"""E5 — Theorem 9: NWH terminates in O(1) expected views of constant rounds.
+
+Paper claims: (a) the number of views is geometric with success
+probability α ≥ 1/3, so the expected number of views is ≤ 3 — in
+practice benign runs decide in view 1; (b) each view costs
+``O(s·n³ + m·n² + p(m))`` words; (c) each view is a constant number of
+rounds, so rounds-to-decision are constant in ``n``.
+"""
+
+import statistics
+
+import pytest
+
+from repro.analysis.complexity import fit_power_law
+from repro.analysis.experiments import run_nwh_experiment
+
+from conftest import once, record
+
+
+@pytest.mark.benchmark(group="E5-nwh")
+def test_e5_expected_views_constant(benchmark, fast_mode):
+    seeds = range(5 if fast_mode else 20)
+    rows = once(benchmark, lambda: run_nwh_experiment((4,), seeds=seeds))
+    record(benchmark, rows=rows)
+    row = rows[0]
+    # Geometric with α ≥ 1/3 means the mean is at most 3.
+    assert row["mean_views"] <= 3.0
+    assert row["max_views"] <= 8
+
+
+@pytest.mark.benchmark(group="E5-nwh")
+def test_e5_views_do_not_grow_with_n(benchmark):
+    rows = once(
+        benchmark, lambda: run_nwh_experiment((4, 7, 10), seeds=(1, 2, 3))
+    )
+    record(benchmark, rows=rows)
+    means = [row["mean_views"] for row in rows]
+    assert max(means) <= 3.0
+
+
+@pytest.mark.benchmark(group="E5-nwh")
+def test_e5_words_per_view_scale(benchmark):
+    rows = once(
+        benchmark, lambda: run_nwh_experiment((4, 7, 10, 13), seeds=(1,))
+    )
+    record(benchmark, rows=rows)
+    fit = fit_power_law(
+        [row["n"] for row in rows], [row["words_per_view"] for row in rows]
+    )
+    record(benchmark, slope_words_per_view=fit.exponent)
+    # Õ(n³) per view.
+    assert 2.5 < fit.exponent < 3.9, fit
+
+
+@pytest.mark.benchmark(group="E5-nwh")
+def test_e5_constant_rounds_across_n(benchmark):
+    rows = once(
+        benchmark, lambda: run_nwh_experiment((4, 7, 10), seeds=(1, 2))
+    )
+    record(benchmark, rows=rows)
+    means = [row["mean_rounds"] for row in rows]
+    # Absolute round counts are protocol constants; they must not grow with n.
+    assert max(means) / min(means) <= 1.5

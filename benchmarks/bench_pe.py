@@ -1,0 +1,64 @@
+"""E3 — Theorem 8: Proposal Election word complexity.
+
+Paper claim: ``O(n³·es + n²·ds + g(m+d) + b(n)) = O(λ n³ log n + m n²)``
+words — the constituent terms being n³ evaluation shares, n² DKG share
+transfers, one Gather over (proposal, transcript) pairs and one index-set
+broadcast per party.  Regenerated: total words vs ``n`` with the
+per-component breakdown, and constant rounds.
+"""
+
+import pytest
+
+from repro.analysis.complexity import fit_power_law
+from repro.analysis.experiments import run_pe_experiment
+
+from conftest import once, record
+
+
+@pytest.mark.benchmark(group="E3-pe")
+def test_e3_words_vs_n(benchmark):
+    ns = (4, 7, 10, 13)
+    rows = once(benchmark, lambda: run_pe_experiment(ns))
+    record(benchmark, rows=rows)
+    fit = fit_power_law([r["n"] for r in rows], [r["words"] for r in rows])
+    record(benchmark, slope_n=fit.exponent, r2=fit.r_squared)
+    assert 2.5 < fit.exponent < 3.9, fit
+
+
+@pytest.mark.benchmark(group="E3-pe")
+def test_e3_component_breakdown(benchmark):
+    rows = once(benchmark, lambda: run_pe_experiment((7, 10)))
+    record(benchmark, rows=rows)
+    for row in rows:
+        # Gather dominates (n³ log n term); all components are present.
+        assert row["gather_words"] > 0
+        assert row["dkg_words"] > 0
+        assert row["eval_words"] > 0
+        assert row["idx_words"] > 0
+        total = row["words"]
+        parts = (
+            row["gather_words"]
+            + row["dkg_words"]
+            + row["eval_words"]
+            + row["idx_words"]
+        )
+        assert parts <= total * 1.01
+        assert parts >= total * 0.7  # breakdown covers the bulk
+
+
+@pytest.mark.benchmark(group="E3-pe")
+def test_e3_dkg_share_term_is_quadratic_in_n_times_n(benchmark):
+    """The round-1 term is n² transcripts of O(n) words = O(n³)."""
+    rows = once(benchmark, lambda: run_pe_experiment((4, 7, 10, 13)))
+    record(benchmark, rows=rows)
+    fit = fit_power_law([r["n"] for r in rows], [r["dkg_words"] for r in rows])
+    record(benchmark, slope_dkg=fit.exponent)
+    assert 2.4 < fit.exponent < 3.4, fit
+
+
+@pytest.mark.benchmark(group="E3-pe")
+def test_e3_constant_rounds(benchmark):
+    rows = once(benchmark, lambda: run_pe_experiment((4, 7, 10)))
+    record(benchmark, rows=rows)
+    rounds = [r["rounds"] for r in rows]
+    assert max(rounds) - min(rounds) <= 2.0

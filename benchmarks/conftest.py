@@ -1,0 +1,40 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark runs full (seeded, deterministic) protocol simulations,
+so wall-clock timing is taken over a single run (``once``); the
+scientifically relevant outputs — word counts, rounds, views, rates —
+are attached to ``benchmark.extra_info`` and asserted as *shapes*
+(scaling exponents, ratios, monotonicity), never absolute numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+
+def once(benchmark, fn):
+    """Time exactly one execution of ``fn`` and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def record(benchmark, **info):
+    """Attach JSON-serializable measurement data to the benchmark."""
+    for key, value in info.items():
+        benchmark.extra_info[key] = _jsonable(value)
+
+
+def _jsonable(value):
+    try:
+        json.dumps(value)
+        return value
+    except TypeError:
+        return repr(value)
+
+
+@pytest.fixture(scope="session")
+def fast_mode():
+    """Set REPRO_BENCH_FAST=1 to shrink sweeps (CI smoke runs)."""
+    return os.environ.get("REPRO_BENCH_FAST", "0") == "1"

@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""Byzantine fire drill: the A-DKG under the full fault matrix.
+
+Runs the complete protocol stack while corrupting a party with each
+implemented Byzantine behaviour (silence, crash, message dropping,
+invalid PVSS shares) and under adversarial message scheduling, and
+reports agreement / validity / rounds for each case — the operational
+content of Theorems 1, 3, 4 and 5.
+
+Run:  python examples/byzantine_drill.py
+"""
+
+from repro.analysis.experiments import run_fault_matrix
+from repro.analysis.tables import render_table
+
+
+def main() -> None:
+    print("A-DKG fault drill, n = 4, f = 1 (every case corrupts one party")
+    print("or hands the scheduler to the adversary):\n")
+    rows = run_fault_matrix(n=4, seed=3)
+    print(
+        render_table(
+            rows,
+            columns=[
+                "fault",
+                "honest_outputs",
+                "agreement",
+                "valid",
+                "rounds",
+            ],
+        )
+    )
+    assert all(row["agreement"] and row["valid"] for row in rows)
+    print("\nall cases: agreement on one verifying transcript — OK")
+
+
+if __name__ == "__main__":
+    main()

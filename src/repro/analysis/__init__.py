@@ -1,0 +1,19 @@
+"""Experiment runners, complexity fits and table rendering.
+
+``repro.analysis.experiments`` exposes one runner per experiment of the
+index in DESIGN.md (E1-E9); ``repro.analysis.complexity`` estimates
+scaling exponents from measurements; ``repro.analysis.tables`` renders
+the EXPERIMENTS.md-style tables.
+"""
+
+from repro.analysis.complexity import fit_power_law, log_log_slope
+from repro.analysis.stats import summarize, wilson_interval
+from repro.analysis.tables import render_table
+
+__all__ = [
+    "fit_power_law",
+    "log_log_slope",
+    "summarize",
+    "wilson_interval",
+    "render_table",
+]

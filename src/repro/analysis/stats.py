@@ -1,0 +1,97 @@
+"""Small statistics helpers for experiment reporting.
+
+Seeded-simulation experiments produce samples (views per run, words per
+run, binding successes); these helpers summarize them without pulling in
+scipy for the common cases.  ``wilson_interval`` is the right interval
+for the E4 binding-rate measurements (a Bernoulli rate from few dozen
+runs); ``summarize`` is the one-stop sample description used in reports.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class SampleSummary:
+    count: int
+    mean: float
+    stdev: float
+    minimum: float
+    median: float
+    p90: float
+    maximum: float
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile, ``q`` in [0, 100]."""
+    if not values:
+        raise ValueError("empty sample")
+    if not 0 <= q <= 100:
+        raise ValueError("q must be in [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (len(ordered) - 1) * q / 100
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return float(ordered[low])
+    weight = rank - low
+    value = ordered[low] * (1 - weight) + ordered[high] * weight
+    # Clamp: float cancellation must not push the result outside the bracket.
+    return min(max(value, ordered[low]), ordered[high])
+
+
+def summarize(values: Sequence[float]) -> SampleSummary:
+    """Mean/spread/percentile summary of a sample."""
+    if not values:
+        raise ValueError("empty sample")
+    n = len(values)
+    mean = sum(values) / n
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1) if n > 1 else 0.0
+    return SampleSummary(
+        count=n,
+        mean=mean,
+        stdev=math.sqrt(variance),
+        minimum=float(min(values)),
+        median=percentile(values, 50),
+        p90=percentile(values, 90),
+        maximum=float(max(values)),
+    )
+
+
+def wilson_interval(successes: int, trials: int, z: float = 1.96) -> tuple[float, float]:
+    """Wilson score interval for a Bernoulli rate (default 95%).
+
+    Better behaved than the normal approximation at the small trial
+    counts protocol-quality experiments run with.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes out of range")
+    p_hat = successes / trials
+    denom = 1 + z**2 / trials
+    center = (p_hat + z**2 / (2 * trials)) / denom
+    margin = (
+        z
+        * math.sqrt(p_hat * (1 - p_hat) / trials + z**2 / (4 * trials**2))
+        / denom
+    )
+    return (max(0.0, center - margin), min(1.0, center + margin))
+
+
+def geometric_tail_bound(alpha: float, views: int) -> float:
+    """P[more than ``views`` views] for a geometric(α) view count.
+
+    Theorem 9's termination argument: each view independently succeeds
+    with probability ≥ α, so the tail decays as ``(1-α)^views``.
+    """
+    if not 0 < alpha <= 1:
+        raise ValueError("alpha must be in (0, 1]")
+    if views < 0:
+        raise ValueError("views must be non-negative")
+    return (1 - alpha) ** views

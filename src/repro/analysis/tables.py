@@ -1,0 +1,36 @@
+"""Markdown/ASCII table rendering for experiment reports."""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+
+def _format(value: Any) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.2f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def render_table(rows: Sequence[Mapping[str, Any]], columns: Sequence[str] | None = None) -> str:
+    """Render rows of dicts as a GitHub-flavoured markdown table."""
+    if not rows:
+        return "(no data)"
+    columns = list(columns or rows[0].keys())
+    cells = [[_format(row.get(col, "-")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in cells))
+        for i, col in enumerate(columns)
+    ]
+    header = "| " + " | ".join(col.ljust(w) for col, w in zip(columns, widths)) + " |"
+    rule = "|" + "|".join("-" * (w + 2) for w in widths) + "|"
+    body = [
+        "| " + " | ".join(cell.ljust(w) for cell, w in zip(line, widths)) + " |"
+        for line in cells
+    ]
+    return "\n".join([header, rule, *body])

@@ -1,0 +1,255 @@
+"""Binary asynchronous Byzantine agreement (baseline building block).
+
+The classic Bracha/Mostéfaoui-Moumen-Raynal round structure the paper's
+"second natural approach" (Section 1.2) refers to:
+
+round r:
+  1. *BV-broadcast* of the current estimate — relay a bit after ``f+1``
+     supporting BVALs, accept it into ``bin_values`` after ``2f+1``;
+  2. broadcast one ``AUX`` value from ``bin_values`` and exchange common
+     coin shares;
+  3. once ``n-f`` AUX values (all inside ``bin_values``) and the coin are
+     in: a unanimous AUX value matching the coin decides; otherwise the
+     estimate becomes the unanimous value or the coin.
+
+A ``DECIDED`` amplification gadget (f+1 DECIDEDs adopt, echo, halt) makes
+termination explicit; deciders keep participating for one extra round so
+laggards cross the line.
+
+Safety never depends on the coin; expected round count does.  The coin
+(:class:`repro.baselines.common_coin.CoinHelper`) is *weak*: parties
+without the associated transcript fall back to a public bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.baselines.common_coin import CoinHelper
+from repro.net.payload import Payload, words_of
+from repro.net.protocol import Protocol
+
+
+@dataclass(frozen=True)
+class BVal(Payload):
+    round_no: int
+    bit: int
+
+
+@dataclass(frozen=True)
+class Aux(Payload):
+    round_no: int
+    bit: int
+
+
+@dataclass(frozen=True)
+class CoinShareMsg(Payload):
+    round_no: int
+    share: Any  # EvalShare or None (sender lacks the transcript)
+
+    def word_size(self) -> int:
+        return 1 + words_of(self.share)
+
+
+@dataclass(frozen=True)
+class Decided(Payload):
+    bit: int
+
+
+class BinaryAgreement(Protocol):
+    """One binary ABA instance.
+
+    The input bit may be provided at construction or later through
+    :meth:`provide_input` (the ACS construction gates inputs).  Outputs
+    the decided bit.
+    """
+
+    MAX_ROUNDS = 64
+
+    def __init__(self, coin: CoinHelper, input_bit: Optional[int] = None) -> None:
+        super().__init__()
+        self.coin = coin
+        self._input = input_bit
+        self.round_no = 0
+        self.estimate: Optional[int] = None
+        self.decided: Optional[int] = None
+        self._decided_round: Optional[int] = None
+        self._bval_recv: dict[tuple[int, int], set[int]] = {}
+        self._bval_sent: set[tuple[int, int]] = set()
+        self._bin_values: dict[int, set[int]] = {}
+        self._aux_recv: dict[int, dict[int, int]] = {}
+        self._aux_sent: set[int] = set()
+        self._coin_shares: dict[int, dict[int, Any]] = {}
+        self._coin_sent: set[int] = set()
+        self._coin_value: dict[int, int] = {}
+        self._round_closed: set[int] = set()
+        self._decided_recv: dict[int, set[int]] = {0: set(), 1: set()}
+        self._decided_sent = False
+
+    # -- input ------------------------------------------------------------------------
+
+    def on_start(self) -> None:
+        if self._input is not None:
+            self.provide_input(self._input)
+
+    def provide_input(self, bit: int) -> None:
+        if self.round_no != 0 or bit not in (0, 1):
+            return
+        self.estimate = bit
+        self._enter_round(1)
+
+    # -- round machinery -----------------------------------------------------------------
+
+    def _enter_round(self, round_no: int) -> None:
+        if self._halted(round_no):
+            return
+        self.round_no = round_no
+        self._send_bval(round_no, self.estimate)
+        self.upon(
+            lambda r=round_no: self._round_ready(r),
+            lambda r=round_no: self._close_round(r),
+            label=f"aba-close-{round_no}",
+        )
+
+    def _halted(self, round_no: int) -> bool:
+        if round_no > self.MAX_ROUNDS:
+            return True
+        return (
+            self._decided_round is not None and round_no > self._decided_round + 1
+        )
+
+    def _send_bval(self, round_no: int, bit: int) -> None:
+        key = (round_no, bit)
+        if key in self._bval_sent:
+            return
+        self._bval_sent.add(key)
+        self.multicast(BVal(round_no=round_no, bit=bit))
+
+    # -- message handlers -------------------------------------------------------------------
+
+    def on_message(self, sender: int, payload: Payload) -> None:
+        if isinstance(payload, BVal):
+            self._on_bval(sender, payload.round_no, payload.bit)
+        elif isinstance(payload, Aux):
+            self._on_aux(sender, payload.round_no, payload.bit)
+        elif isinstance(payload, CoinShareMsg):
+            self._on_coin_share(sender, payload.round_no, payload.share)
+        elif isinstance(payload, Decided):
+            self._on_decided(sender, payload.bit)
+
+    def _on_bval(self, sender: int, round_no: int, bit: int) -> None:
+        if bit not in (0, 1) or not isinstance(round_no, int) or round_no < 1:
+            return
+        if round_no > self.MAX_ROUNDS:
+            return
+        box = self._bval_recv.setdefault((round_no, bit), set())
+        if sender in box:
+            return
+        box.add(sender)
+        if len(box) >= self.f + 1:
+            self._send_bval(round_no, bit)
+        if len(box) >= 2 * self.f + 1:
+            accepted = self._bin_values.setdefault(round_no, set())
+            if bit not in accepted:
+                accepted.add(bit)
+                self._on_bin_value(round_no, bit)
+
+    def _on_bin_value(self, round_no: int, bit: int) -> None:
+        if round_no not in self._aux_sent:
+            self._aux_sent.add(round_no)
+            self.multicast(Aux(round_no=round_no, bit=bit))
+        if round_no not in self._coin_sent:
+            self._coin_sent.add(round_no)
+            self.multicast(
+                CoinShareMsg(round_no=round_no, share=self.coin.make_share(round_no))
+            )
+
+    def _on_aux(self, sender: int, round_no: int, bit: int) -> None:
+        if bit not in (0, 1) or not isinstance(round_no, int) or round_no < 1:
+            return
+        self._aux_recv.setdefault(round_no, {}).setdefault(sender, bit)
+
+    def _on_coin_share(self, sender: int, round_no: int, share: Any) -> None:
+        if not isinstance(round_no, int) or round_no < 1:
+            return
+        box = self._coin_shares.setdefault(round_no, {})
+        if sender in box:
+            return
+        box[sender] = share
+        self._maybe_fix_coin(round_no)
+
+    def _maybe_fix_coin(self, round_no: int) -> None:
+        if round_no in self._coin_value:
+            return
+        box = self._coin_shares.get(round_no, {})
+        verified = [
+            share
+            for sender, share in box.items()
+            if share is not None and self.coin.share_valid(sender, round_no, share)
+        ]
+        if len(verified) >= self.f + 1:
+            self._coin_value[round_no] = self.coin.combine(round_no, verified)
+        elif len(box) >= self.quorum:
+            self._coin_value[round_no] = self.coin.fallback_bit(round_no)
+
+    # -- round closing --------------------------------------------------------------------------
+
+    def _round_ready(self, round_no: int) -> bool:
+        if round_no in self._round_closed:
+            return False
+        if round_no not in self._coin_value:
+            self._maybe_fix_coin(round_no)
+            if round_no not in self._coin_value:
+                return False
+        accepted = self._bin_values.get(round_no, set())
+        if not accepted:
+            return False
+        supported = [
+            bit
+            for bit in self._aux_recv.get(round_no, {}).values()
+            if bit in accepted
+        ]
+        return len(supported) >= self.quorum
+
+    def _close_round(self, round_no: int) -> None:
+        if round_no in self._round_closed:
+            return
+        self._round_closed.add(round_no)
+        accepted = self._bin_values[round_no]
+        values = {
+            bit
+            for bit in self._aux_recv[round_no].values()
+            if bit in accepted
+        }
+        coin = self._coin_value[round_no]
+        if len(values) == 1:
+            (bit,) = values
+            self.estimate = bit
+            if bit == coin:
+                self._decide(bit, round_no)
+        else:
+            self.estimate = coin
+        self._enter_round(round_no + 1)
+
+    # -- decision ----------------------------------------------------------------------------------
+
+    def _decide(self, bit: int, round_no: int) -> None:
+        if self.decided is not None:
+            return
+        self.decided = bit
+        self._decided_round = round_no
+        if not self._decided_sent:
+            self._decided_sent = True
+            self.multicast(Decided(bit=bit))
+        self.output(bit)
+
+    def _on_decided(self, sender: int, bit: int) -> None:
+        if bit not in (0, 1):
+            return
+        box = self._decided_recv[bit]
+        if sender in box:
+            return
+        box.add(sender)
+        if len(box) >= self.f + 1 and self.decided is None:
+            self._decide(bit, self.round_no or 1)

@@ -1,0 +1,28 @@
+"""Reliable broadcast protocols (Section 2.2, Appendix A).
+
+Two interchangeable implementations of (validated) reliable broadcast:
+
+* :class:`repro.broadcast.bracha.BrachaBroadcast` — the classic Bracha
+  protocol; ``O(n² · m)`` words, used as the ablation baseline (E9);
+* :class:`repro.broadcast.ct_rbc.CTBroadcast` — the Cachin-Tessaro
+  erasure-coded protocol the paper instantiates (Theorem 6):
+  ``O(n²·(c + p) + m·n)`` words with Merkle-tree vector commitments and
+  Reed-Solomon dispersal.
+
+Both accept an external ``validate`` predicate, turning them into the
+paper's *Validated Reliable Broadcast* (only externally valid values are
+ever output).
+"""
+
+from repro.broadcast.bracha import BrachaBroadcast
+from repro.broadcast.ct_rbc import CTBroadcast
+from repro.broadcast.erasure import rs_decode, rs_encode
+from repro.broadcast.validated import make_broadcast
+
+__all__ = [
+    "BrachaBroadcast",
+    "CTBroadcast",
+    "rs_encode",
+    "rs_decode",
+    "make_broadcast",
+]

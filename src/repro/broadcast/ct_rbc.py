@@ -1,0 +1,228 @@
+"""Cachin-Tessaro erasure-coded reliable broadcast (Appendix A, Theorem 6).
+
+The dealer Reed-Solomon-encodes its serialized value into ``n`` fragments
+(reconstruction threshold ``k = f+1``), commits to the fragment vector
+with a vector commitment (Merkle tree by default; Section 7.1's
+constant-size-opening alternative is available as ``vc_kind="kzg"``), and sends each party its fragment plus opening proof.
+Parties echo *their own* fragment to everyone; a party that collects
+``n-f`` proof-valid fragments for a root decodes, **re-encodes and
+re-commits** to check the root (this is what forces agreement: a root
+either commits a codeword — in which case every subset decodes the same
+value — or nobody ever validates it), then votes ``ready``.  ``f+1``
+readies amplify; ``2f+1`` readies plus a successful decode deliver.
+
+Word complexity per Theorem 6: ``O(n²·(c + p) + m·n)`` with ``c`` the
+commitment size (1 word) and ``p`` the opening proof size (``log n``
+words).  Fragment word sizes are accounted logically (``ceil(m/(f+1))``
+words) while the payload carries the real fragment bytes — see
+:mod:`repro.broadcast.wire`.
+
+With a ``validate`` predicate this is the paper's Validated Reliable
+Broadcast: ``ready`` votes and delivery are gated on external validity of
+the decoded value.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.broadcast import erasure, wire
+from repro.crypto.vector_commitment import make_scheme
+from repro.net.payload import Payload, words_of
+from repro.net.protocol import Protocol
+
+Validator = Callable[[Any], bool]
+
+
+def _fragment_words(claim_words: int, k: int) -> int:
+    return max(1, -(-claim_words // k))
+
+
+@dataclass(frozen=True)
+class CTVal(Payload):
+    """Dealer → party j: j's fragment with its commitment opening."""
+
+    root: Any
+    fragment: bytes
+    proof: Any
+    claim_words: int
+    k: int
+
+    def word_size(self) -> int:
+        return 1 + _fragment_words(self.claim_words, self.k) + self.proof.word_size()
+
+
+@dataclass(frozen=True)
+class CTEcho(Payload):
+    """Party j → all: j's own fragment."""
+
+    root: Any
+    fragment: bytes
+    proof: Any
+    claim_words: int
+    k: int
+
+    def word_size(self) -> int:
+        return 1 + _fragment_words(self.claim_words, self.k) + self.proof.word_size()
+
+
+@dataclass(frozen=True)
+class CTReady(Payload):
+    root: Any
+
+    def word_size(self) -> int:
+        return 1
+
+
+class CTBroadcast(Protocol):
+    """One erasure-coded reliable broadcast instance with a designated dealer."""
+
+    def __init__(
+        self,
+        dealer: int,
+        value: Any = None,
+        validate: Optional[Validator] = None,
+        vc_kind: str = "merkle",
+    ) -> None:
+        super().__init__()
+        self.dealer = dealer
+        self.value = value
+        self.validate = validate or (lambda _value: True)
+        self.vc_kind = vc_kind
+        self._vc = None
+        self._echoed = False
+        self._ready_sent = False
+        self._fragments: dict[bytes, dict[int, bytes]] = defaultdict(dict)
+        self._readies: dict[bytes, set[int]] = defaultdict(set)
+        self._decoded: dict[bytes, Any] = {}
+        self._bad_roots: set[bytes] = set()
+
+    @property
+    def k(self) -> int:
+        """Reconstruction threshold: ``f + 1`` honest fragments suffice."""
+        return self.f + 1
+
+    @property
+    def vc(self):
+        """The vector-commitment backend (Merkle by default; E10 swaps KZG in)."""
+        if self._vc is None:
+            self._vc = make_scheme(self.vc_kind, self.directory)
+        return self._vc
+
+    def on_start(self) -> None:
+        if self.me == self.dealer:
+            if self.value is None:
+                raise ValueError("dealer must provide a value")
+            data = wire.serialize(self.value)
+            fragments = erasure.rs_encode(data, self.k, self.n)
+            commitment, proofs = self.vc.commit(fragments)
+            claim = max(1, words_of(self.value))
+            for j in range(self.n):
+                self.send(
+                    j,
+                    CTVal(
+                        root=commitment,
+                        fragment=fragments[j],
+                        proof=proofs[j],
+                        claim_words=claim,
+                        k=self.k,
+                    ),
+                )
+
+    def on_message(self, sender: int, payload: Payload) -> None:
+        if isinstance(payload, CTVal):
+            self._on_val(sender, payload)
+        elif isinstance(payload, CTEcho):
+            self._on_echo(sender, payload)
+        elif isinstance(payload, CTReady):
+            self._on_ready(sender, payload)
+
+    # -- handlers ----------------------------------------------------------------------
+
+    def _on_val(self, sender: int, payload: CTVal) -> None:
+        if sender != self.dealer or self._echoed:
+            return
+        if payload.k != self.k or not self.vc.is_commitment(payload.root):
+            return
+        ok = self.vc.verify(
+            payload.root, payload.fragment, self.me, payload.proof, self.n
+        )
+        if not ok:
+            return
+        self._echoed = True
+        self.multicast(
+            CTEcho(
+                root=payload.root,
+                fragment=payload.fragment,
+                proof=payload.proof,
+                claim_words=payload.claim_words,
+                k=payload.k,
+            )
+        )
+
+    def _on_echo(self, sender: int, payload: CTEcho) -> None:
+        if payload.k != self.k or not self.vc.is_commitment(payload.root):
+            return
+        ok = self.vc.verify(
+            payload.root, payload.fragment, sender, payload.proof, self.n
+        )
+        if not ok:
+            return
+        slot = self._fragments[payload.root]
+        if sender in slot:
+            return
+        slot[sender] = payload.fragment
+        self._progress(payload.root)
+
+    def _on_ready(self, sender: int, payload: CTReady) -> None:
+        if not self.vc.is_commitment(payload.root):
+            return
+        self._readies[payload.root].add(sender)
+        self._progress(payload.root)
+
+    # -- state machine -------------------------------------------------------------------
+
+    def _progress(self, root: bytes) -> None:
+        if root in self._bad_roots:
+            return
+        fragments = self._fragments[root]
+        readies = self._readies[root]
+        decodable = len(fragments) >= self.quorum or (
+            len(readies) >= self.f + 1 and len(fragments) >= self.k
+        )
+        if root not in self._decoded and decodable:
+            self._try_decode(root)
+        value_ready = root in self._decoded
+        if not self._ready_sent and (value_ready or len(readies) >= self.f + 1):
+            # Ready on own decode-and-validate, or amplify f+1 readies
+            # (at least one honest party already vouched for the root).
+            self._ready_sent = True
+            self.multicast(CTReady(root))
+        if value_ready and len(readies) >= 2 * self.f + 1:
+            self.output(self._decoded[root])
+
+    def _try_decode(self, root: bytes) -> None:
+        fragments = self._fragments[root]
+        try:
+            data = erasure.rs_decode(fragments, self.k)
+        except ValueError:
+            self._bad_roots.add(root)
+            return
+        # Re-encode and re-commit: the root must commit exactly this codeword.
+        check_fragments = erasure.rs_encode(data, self.k, self.n)
+        if self.vc.commitment_only(check_fragments) != root:
+            self._bad_roots.add(root)
+            return
+        value = wire.deserialize(data)
+        if value is None or not self._try_validate(value):
+            self._bad_roots.add(root)
+            return
+        self._decoded[root] = value
+
+    def _try_validate(self, value: Any) -> bool:
+        try:
+            return bool(self.validate(value))
+        except Exception:
+            return False

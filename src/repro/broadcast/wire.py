@@ -1,0 +1,30 @@
+"""Value (de)serialization for dispersal-style broadcasts.
+
+The erasure-coded broadcast genuinely fragments a byte string; protocol
+values (PVSS transcripts, key tuples, ...) are pickled to produce it.
+Word accounting is *not* derived from the pickle length — the logical
+word size of the original value travels with the fragments so the metered
+complexity matches the paper's model (see ``CTFragment.word_size``).
+
+``deserialize`` is restricted-unpickling hardened only lightly: the
+simulator passes objects between in-process parties, so the threat model
+is malformed bytes (a Byzantine dealer), which surface as exceptions and
+are mapped to "dealer faulty".
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Optional
+
+
+def serialize(value: Any) -> bytes:
+    return pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def deserialize(data: bytes) -> Optional[Any]:
+    """Decode bytes back into a value; ``None`` if the bytes are malformed."""
+    try:
+        return pickle.loads(data)
+    except Exception:
+        return None

@@ -1,0 +1,123 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``         simulate one A-DKG and print the outcome + costs
+``sweep``       words/rounds across a range of n (quick Theorem-10 view)
+``drill``       the Byzantine fault matrix (Theorems 1/3/4/5 in action)
+``compare``     this work vs the Ω(n⁴) baseline (the Section-1 headline)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro import run_adkg
+
+    result = run_adkg(n=args.n, seed=args.seed, to_quiescence=args.full)
+    print(f"n={result.n} f={result.f} seed={args.seed}")
+    print(f"agreed:        {result.agreed}")
+    print(f"contributors:  {sorted(result.transcript.contributors)}")
+    print(f"words sent:    {result.words_total:,}")
+    print(f"messages sent: {result.messages_total:,}")
+    print(f"async rounds:  {result.rounds:.0f}")
+    print(f"NWH views:     {result.views}")
+    return 0 if result.agreed else 1
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis.complexity import fit_power_law
+    from repro.analysis.experiments import run_adkg_experiment
+    from repro.analysis.tables import render_table
+
+    ns = list(range(args.min_n, args.max_n + 1, 3))
+    rows = run_adkg_experiment(ns, seeds=(args.seed,))
+    print(render_table(rows, columns=["n", "mean_words", "mean_rounds", "mean_views"]))
+    fit = fit_power_law([r["n"] for r in rows], [r["mean_words"] for r in rows])
+    print(f"\nfitted words ~ n^{fit.exponent:.2f}  (paper: Õ(n³))")
+    return 0
+
+
+def _cmd_drill(args: argparse.Namespace) -> int:
+    from repro.analysis.experiments import run_fault_matrix
+    from repro.analysis.tables import render_table
+
+    rows = run_fault_matrix(n=args.n, seed=args.seed)
+    print(
+        render_table(
+            rows, columns=["fault", "honest_outputs", "agreement", "valid", "rounds"]
+        )
+    )
+    ok = all(row["agreement"] and row["valid"] for row in rows)
+    print(f"\nsafety held in every case: {ok}")
+    return 0 if ok else 1
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.analysis.experiments import run_baseline_comparison
+    from repro.analysis.tables import render_table
+
+    ns = list(range(args.min_n, args.max_n + 1, 3))
+    rows = run_baseline_comparison(ns, seed=args.seed)
+    print(
+        render_table(
+            rows,
+            columns=[
+                "n",
+                "ours_words",
+                "baseline_words",
+                "word_ratio",
+                "ours_rounds",
+                "baseline_rounds",
+            ],
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="A-DKG reproduction (Abraham et al., PODC 2021)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="simulate one A-DKG")
+    run_p.add_argument("-n", type=int, default=7, help="number of parties")
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument(
+        "--full", action="store_true", help="run to quiescence (count all words)"
+    )
+    run_p.set_defaults(func=_cmd_run)
+
+    sweep_p = sub.add_parser("sweep", help="words/rounds across n")
+    sweep_p.add_argument("--min-n", type=int, default=4)
+    sweep_p.add_argument("--max-n", type=int, default=13)
+    sweep_p.add_argument("--seed", type=int, default=1)
+    sweep_p.set_defaults(func=_cmd_sweep)
+
+    drill_p = sub.add_parser("drill", help="Byzantine fault matrix")
+    drill_p.add_argument("-n", type=int, default=4)
+    drill_p.add_argument("--seed", type=int, default=1)
+    drill_p.set_defaults(func=_cmd_drill)
+
+    compare_p = sub.add_parser("compare", help="vs the Ω(n⁴) baseline")
+    compare_p.add_argument("--min-n", type=int, default=4)
+    compare_p.add_argument("--max-n", type=int, default=10)
+    compare_p.add_argument("--seed", type=int, default=1)
+    compare_p.set_defaults(func=_cmd_compare)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""The paper's contribution: Gather, Proposal Election, NWH, A-DKG.
+
+* :class:`repro.core.gather.Gather` — Verifiable Gather (Section 3):
+  every party's output contains a common core; any index-set passing
+  :meth:`Gather.verify` contains it too.
+* :class:`repro.core.proposal_election.ProposalElection` — PE (Section 4):
+  with probability α ≥ 1/3 all parties elect the same proposal of a party
+  that was nonfaulty, and only that proposal passes verification.
+* :class:`repro.core.nwh.NWH` — No Waitin' HotStuff (Section 5): a
+  Validated Asynchronous Byzantine Agreement protocol driven by PE as a
+  per-view "virtual leader".
+* :class:`repro.core.adkg.ADKG` — the A-DKG (Section 6): exchange PVSS
+  contributions, aggregate, agree with NWH.
+"""
+
+from repro.core.gather import Gather
+from repro.core.proposal_election import ProposalElection
+from repro.core.nwh import NWH
+from repro.core.adkg import ADKG
+
+__all__ = ["Gather", "ProposalElection", "NWH", "ADKG"]

@@ -1,0 +1,184 @@
+"""Key / lock / commit certificates for NWH (Algorithms 11-13, Definition 3).
+
+A certificate is ``n - f`` signed votes on ``(kind, H(value), view)``.
+Values can be large (an aggregated PVSS transcript is O(n) words), so
+votes sign the canonical digest of the value; the certificate travels
+with the value itself, and the checker re-derives the digest.
+
+Per the paper, keys and locks from before the first view (``view == 0``)
+are vacuously correct, and ``keyCorrect`` additionally demands external
+validity of the value (Algorithm 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.crypto import schnorr
+from repro.crypto.encoding import encode
+from repro.crypto.hashing import hash_bytes
+from repro.crypto.keys import PartySecret, PublicDirectory
+from repro.core.validity import Validator, safe_validate
+
+KIND_ECHO = "echo"
+KIND_KEY = "key"
+KIND_LOCK = "lock"
+
+_CHAIN = {KIND_ECHO: KIND_ECHO, KIND_KEY: KIND_ECHO, KIND_LOCK: KIND_KEY}
+
+
+@dataclass(frozen=True)
+class SignedVote:
+    """One party's signature on ``(kind, H(value), view)``."""
+
+    signer: int
+    signature: schnorr.Signature
+
+    def word_size(self) -> int:
+        return 1
+
+
+Certificate = tuple  # tuple[SignedVote, ...]
+
+
+def value_digest(value: Any) -> bytes:
+    """Canonical digest of an agreement value (possibly large)."""
+    try:
+        return hash_bytes("nwh-value", encode(value))
+    except TypeError:
+        return hash_bytes("nwh-value-opaque", repr(value))
+
+
+def make_vote(
+    directory: PublicDirectory,
+    secret: PartySecret,
+    kind: str,
+    value: Any,
+    view: int,
+) -> SignedVote:
+    """Sign ``(kind, H(value), view)`` — the paper's σ on ⟨kind, v, view⟩."""
+    signature = schnorr.sign(
+        directory.sign_group,
+        secret.sign,
+        "nwh-vote",
+        directory.session,
+        kind,
+        value_digest(value),
+        view,
+    )
+    return SignedVote(signer=secret.index, signature=signature)
+
+
+def vote_valid(
+    directory: PublicDirectory,
+    vote: Any,
+    kind: str,
+    value: Any,
+    view: int,
+) -> bool:
+    if not isinstance(vote, SignedVote):
+        return False
+    if not 0 <= vote.signer < directory.n:
+        return False
+    return schnorr.verify(
+        directory.sign_group,
+        directory.sign_pks[vote.signer],
+        vote.signature,
+        "nwh-vote",
+        directory.session,
+        kind,
+        value_digest(value),
+        view,
+    )
+
+
+def certificate_valid(
+    directory: PublicDirectory,
+    proof: Any,
+    kind: str,
+    value: Any,
+    view: int,
+) -> bool:
+    """``n - f`` distinct valid votes on ``(kind, H(value), view)``."""
+    if not isinstance(proof, tuple):
+        return False
+    signers = set()
+    for vote in proof:
+        if not vote_valid(directory, vote, kind, value, view):
+            return False
+        signers.add(vote.signer)
+    return len(signers) >= directory.quorum
+
+
+def key_correct(
+    directory: PublicDirectory,
+    validate: Validator,
+    view: int,
+    value: Any,
+    proof: Any,
+) -> bool:
+    """Algorithm 11: external validity + echo-certificate (or view 0)."""
+    if not safe_validate(validate, value):
+        return False
+    if not isinstance(view, int) or view < 0:
+        return False
+    if view == 0:
+        return True
+    return certificate_valid(directory, proof, KIND_ECHO, value, view)
+
+
+def lock_correct(
+    directory: PublicDirectory,
+    view: int,
+    value: Any,
+    proof: Any,
+) -> bool:
+    """Algorithm 12: key-certificate (or view 0)."""
+    if not isinstance(view, int) or view < 0:
+        return False
+    if view == 0:
+        return True
+    return certificate_valid(directory, proof, KIND_KEY, value, view)
+
+
+def commit_correct(
+    directory: PublicDirectory,
+    view: int,
+    value: Any,
+    proof: Any,
+) -> bool:
+    """Algorithm 13: lock-certificate (no view-0 escape hatch)."""
+    if not isinstance(view, int) or view < 1:
+        return False
+    return certificate_valid(directory, proof, KIND_LOCK, value, view)
+
+
+@dataclass(frozen=True)
+class KeyTuple:
+    """The (key, key_val, key_proof) triple NWH feeds into PE.
+
+    ``view == 0`` means "no key yet" — ``value`` is then the party's own
+    input and ``proof`` is ``None`` (the paper's ``(0, x_i, ⊥)``).
+    """
+
+    view: int
+    value: Any
+    proof: Optional[Certificate]
+
+    def word_size(self) -> int:
+        from repro.net.payload import words_of
+
+        proof_words = words_of(self.proof) if self.proof else 0
+        return 1 + max(1, words_of(self.value)) + proof_words
+
+
+def key_tuple_correct(
+    directory: PublicDirectory, validate: Validator, candidate: Any
+) -> bool:
+    """External-validity predicate over :class:`KeyTuple` values."""
+    if not isinstance(candidate, KeyTuple):
+        return False
+    return key_correct(
+        directory, validate, candidate.view, candidate.value, candidate.proof
+    )

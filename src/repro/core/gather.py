@@ -1,0 +1,171 @@
+"""Verifiable Gather (Section 3, Algorithms 1-2, Theorem 1).
+
+Every party validated-broadcasts its input (round 1), then reliably
+broadcasts two rounds of *index sets*: ``S_i`` (whose round-1 broadcasts
+it received) and ``T_i`` (whose ``S`` sets it accepted).  The key
+communication trick: rounds 2-3 reference round-1 values purely by party
+index, so their broadcasts carry O(n) words, not O(n·m).
+
+Output: the gather-set ``R_i = {(j, x_j)}`` once ``n-f`` ``T`` sets are
+accepted.  Binding core (Theorem 1): by a counting argument there is an
+index ``i*`` present in ``f+1`` broadcast ``T`` sets, so every party's
+output — and every index-set passing :meth:`verify` — contains ``S_{i*}``.
+
+:meth:`verify` is the ``GatherVerify`` protocol: given an index-set ``I``
+it resolves (with the gather-set ``{(j, x_j) : j ∈ I}``) once ``I ⊆ S_i``
+and at least ``n-f`` accepted ``T``-entries satisfy ``V_j ⊆ I``.
+Instances keep updating state after output, as Algorithm 1 requires.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.broadcast.validated import make_broadcast
+from repro.core.validity import Validator, always_valid, safe_validate
+from repro.net.conditions import Completion
+from repro.net.payload import Payload
+from repro.net.protocol import Protocol
+
+
+def _valid_index_set(candidate: Any, n: int, minimum: int) -> bool:
+    return (
+        isinstance(candidate, frozenset)
+        and len(candidate) >= minimum
+        and all(isinstance(j, int) and 0 <= j < n for j in candidate)
+    )
+
+
+class Gather(Protocol):
+    """One Verifiable Gather instance.
+
+    ``my_value`` is this party's externally valid input; ``validate`` the
+    common external-validity predicate for round-1 values.  The instance
+    outputs the gather-set as a dict ``{j: x_j}`` (a snapshot of ``R_i``).
+    """
+
+    def __init__(
+        self,
+        my_value: Any,
+        validate: Optional[Validator] = None,
+        broadcast_kind: str = "ct",
+    ) -> None:
+        super().__init__()
+        self.my_value = my_value
+        self.validate = validate or always_valid
+        self.broadcast_kind = broadcast_kind
+        self.values: dict[int, Any] = {}  # R_i
+        self.received_from: set[int] = set()  # S_i
+        self.accepted_s: dict[int, frozenset] = {}  # j -> S_j accepted (j ∈ T_i)
+        self.accepted_u: dict[int, frozenset] = {}  # j -> V_j (U_i)
+        self._sent_round2 = False
+        self._sent_round3 = False
+
+    # -- wiring -------------------------------------------------------------------
+
+    def on_start(self) -> None:
+        for j in range(self.n):
+            value = self.my_value if j == self.me else None
+            self.spawn(
+                ("vrb", j),
+                make_broadcast(
+                    self.broadcast_kind, j, value=value, validate=self.validate
+                ),
+            )
+            if j != self.me:
+                self._spawn_round(2, j, None)
+                self._spawn_round(3, j, None)
+
+    def _spawn_round(self, round_no: int, dealer: int, value: Optional[frozenset]) -> None:
+        minimum = self.quorum
+        n = self.n
+        self.spawn(
+            (f"rb{round_no}", dealer),
+            make_broadcast(
+                self.broadcast_kind,
+                dealer,
+                value=value,
+                validate=lambda s: _valid_index_set(s, n, minimum),
+            ),
+        )
+
+    # -- sub-protocol outputs ----------------------------------------------------------
+
+    def on_sub_output(self, name: Any, value: Any) -> None:
+        stage, dealer = name
+        if stage == "vrb":
+            self._on_value(dealer, value)
+        elif stage == "rb2":
+            self._on_s_set(dealer, value)
+        elif stage == "rb3":
+            self._on_t_set(dealer, value)
+
+    def _on_value(self, j: int, x_j: Any) -> None:
+        """Round 1: ⟨1, x_j⟩ delivered from j's validated broadcast."""
+        if j in self.values:
+            return
+        self.values[j] = x_j
+        self.received_from.add(j)
+        if not self._sent_round2 and len(self.received_from) >= self.quorum:
+            self._sent_round2 = True
+            self._spawn_round(2, self.me, frozenset(self.received_from))
+
+    def _on_s_set(self, j: int, s_j: frozenset) -> None:
+        """Round 2: accept ⟨2, S_j⟩ once S_j ⊆ S_i (persistent condition)."""
+
+        def accept() -> None:
+            self.accepted_s[j] = s_j
+            if not self._sent_round3 and len(self.accepted_s) >= self.quorum:
+                self._sent_round3 = True
+                self._spawn_round(3, self.me, frozenset(self.accepted_s))
+
+        self.upon(
+            lambda: s_j <= self.received_from,
+            accept,
+            label=f"gather-accept-S-{j}",
+        )
+
+    def _on_t_set(self, j: int, t_j: frozenset) -> None:
+        """Round 3: accept ⟨3, T_j⟩ once T_j ⊆ T_i, then record V_j."""
+
+        def accept() -> None:
+            union: set[int] = set()
+            for k in t_j:
+                union |= self.accepted_s[k]
+            self.accepted_u[j] = frozenset(union)
+            if not self.has_output and len(self.accepted_u) >= self.quorum:
+                self.output(dict(self.values))
+
+        self.upon(
+            lambda: t_j <= self.accepted_s.keys(),
+            accept,
+            label=f"gather-accept-T-{j}",
+        )
+
+    # -- GatherVerify (Algorithm 2) ------------------------------------------------------
+
+    def verify(self, index_set: Any) -> Completion:
+        """Start ``GatherVerify_i(I)``; resolves with ``{j: x_j for j ∈ I}``.
+
+        Per the paper's termination semantics, the completion simply never
+        resolves for index-sets that are not verifiable (e.g. missing the
+        binding core).
+        """
+        completion = Completion()
+        if not _valid_index_set(index_set, self.n, self.quorum):
+            return completion  # structurally invalid: never verifies
+
+        def satisfied() -> bool:
+            if not index_set <= self.received_from:
+                return False
+            covered = sum(
+                1 for v_j in self.accepted_u.values() if v_j <= index_set
+            )
+            return covered >= self.quorum
+
+        self.upon(
+            satisfied,
+            lambda: completion.resolve({j: self.values[j] for j in index_set}),
+            label="gather-verify",
+        )
+        return completion

@@ -1,0 +1,26 @@
+"""External-validity plumbing shared by the core protocols.
+
+A *validator* is a predicate over candidate values (Section 2.2's
+``validate: M -> {0,1}``).  Byzantine senders can ship values whose mere
+inspection raises (wrong types, malformed transcripts), so every protocol
+calls validators through :func:`safe_validate`, which maps exceptions to
+"invalid".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+Validator = Callable[[Any], bool]
+
+
+def always_valid(_value: Any) -> bool:
+    return True
+
+
+def safe_validate(validate: Validator, value: Any) -> bool:
+    """Run a validator defensively: exceptions mean invalid."""
+    try:
+        return bool(validate(value))
+    except Exception:
+        return False

@@ -1,0 +1,136 @@
+"""KZG-style polynomial commitments over the (simulated) bilinear group.
+
+Section 7.1 notes that the Merkle openings inside the broadcast could be
+replaced by constant-size openings "at the cost of a trusted setup and
+concretely high proving time".  This module implements that option: a
+Kate-Zaverucha-Goldberg polynomial commitment,
+
+* trusted setup: powers ``g^{τ^k}`` for a secret τ (here derived
+  deterministically from a seed — *simulation-grade*; a deployment would
+  run a ceremony and discard τ);
+* commit to values ``v_0..v_{d}``: interpolate ``p`` with ``p(k) = v_k``
+  and publish ``C = g^{p(τ)}`` (one word);
+* open at ``i``: witness ``w = g^{q(τ)}`` for ``q = (p - p(i))/(x - i)``
+  (one word);
+* verify: ``e(C · g^{-v_i}, g) = e(w, g^τ · g^{-i})``.
+
+Binding holds because a successful opening at a wrong value would factor
+``x - i`` out of a polynomial that is non-zero at ``i``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import Sequence
+
+from repro.crypto.hashing import hash_to_int
+from repro.crypto.pairing import BilinearGroup, GroupElement
+from repro.crypto.polynomial import Polynomial, interpolate_polynomial
+
+
+@dataclass(frozen=True)
+class KZGOpening:
+    """A constant-size opening proof: one group element."""
+
+    witness: GroupElement
+
+    def word_size(self) -> int:
+        return 1
+
+
+class KZGSetup:
+    """Trusted powers-of-τ for polynomials of degree ≤ ``capacity - 1``."""
+
+    def __init__(self, group: BilinearGroup, capacity: int, tau: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        tau %= group.order
+        if tau == 0:
+            tau = 1
+        self.group = group
+        self.capacity = capacity
+        self._powers = []
+        acc = 1
+        for _ in range(capacity + 1):
+            self._powers.append(group.exp(group.g, acc))
+            acc = acc * tau % group.order
+        self.tau_point = self._powers[1]  # g^τ
+
+    @classmethod
+    def from_seed(cls, group: BilinearGroup, capacity: int, *seed_parts) -> "KZGSetup":
+        """Simulation-grade setup: τ from a hash (a real system runs a ceremony)."""
+        tau = hash_to_int("kzg-tau", group.order, capacity, *seed_parts)
+        return cls(group, capacity, tau)
+
+    # -- commitment ----------------------------------------------------------------
+
+    def _commit_poly(self, poly: Polynomial) -> GroupElement:
+        if poly.degree > self.capacity:
+            raise ValueError("polynomial exceeds setup capacity")
+        return self.group.prod(
+            self.group.exp(self._powers[k], coeff)
+            for k, coeff in enumerate(poly.coeffs)
+        )
+
+    def commit(self, values: Sequence[int]) -> GroupElement:
+        """Commit to ``values`` as evaluations at points ``0..len-1``."""
+        if not values:
+            raise ValueError("cannot commit to an empty vector")
+        if len(values) > self.capacity:
+            raise ValueError("vector exceeds setup capacity")
+        poly = self._interpolate(values)
+        return self._commit_poly(poly)
+
+    def open_at(self, values: Sequence[int], index: int) -> KZGOpening:
+        """Opening proof that the committed vector has ``values[index]`` at ``index``."""
+        if not 0 <= index < len(values):
+            raise IndexError("index out of range")
+        field = self.group.scalar_field
+        poly = self._interpolate(values)
+        # q(x) = (p(x) - p(i)) / (x - i), by synthetic division at root i.
+        shifted = list(poly.coeffs)
+        shifted[0] = field.sub(shifted[0], field.element(values[index]))
+        quotient = _divide_by_root(field, shifted, index)
+        return KZGOpening(witness=self._commit_poly(Polynomial(field, tuple(quotient))))
+
+    def verify(
+        self,
+        commitment: GroupElement,
+        index: int,
+        value: int,
+        opening: KZGOpening,
+    ) -> bool:
+        """Pairing check ``e(C·g^{-v}, g) == e(w, g^{τ-i})``."""
+        group = self.group
+        if not isinstance(opening, KZGOpening):
+            return False
+        if not group.is_element(commitment) or not group.is_element(opening.witness):
+            return False
+        lhs = group.pair(
+            group.mul(commitment, group.inv(group.exp(group.g, value))), group.g
+        )
+        shift = group.mul(self.tau_point, group.inv(group.exp(group.g, index)))
+        rhs = group.pair(opening.witness, shift)
+        return lhs == rhs
+
+    # -- internals -------------------------------------------------------------------
+
+    def _interpolate(self, values: Sequence[int]) -> Polynomial:
+        field = self.group.scalar_field
+        points = [(k, field.element(v)) for k, v in enumerate(values)]
+        if len(points) == 1:
+            return Polynomial(field, (points[0][1],))
+        return interpolate_polynomial(field, points)
+
+
+def _divide_by_root(field, coeffs: list[int], root: int) -> list[int]:
+    """Divide a polynomial (with ``p(root) = 0``) by ``(x - root)``."""
+    degree = len(coeffs) - 1
+    if degree == 0:
+        return [0]
+    quotient = [0] * degree
+    carry = 0
+    for k in range(degree, 0, -1):
+        carry = field.add(coeffs[k], field.mul(carry, root))
+        quotient[k - 1] = carry
+    return quotient

@@ -1,0 +1,148 @@
+"""Generic-group simulation of a symmetric bilinear pairing.
+
+The aggregatable PVSS of Gurkan et al. [23] — the crypto workhorse of the
+paper's Proposal Election — requires a pairing ``e: G × G → GT``.  Real
+pairing curves (BLS12-381) are unavailable offline, so this module
+implements the standard *generic group* prototyping trick: an element of
+``G`` (or ``GT``) is represented by its discrete logarithm with respect to
+a fixed generator, which makes the pairing computable::
+
+    e(g^a, g^b) = gT^(a*b)
+
+The public API exposes only group-law operations (``exp``, ``mul``,
+``inv``, ``pair``, ``hash_to_group``); honest protocol code never touches
+the internal ``log`` field.  Every algebraic identity of the real scheme
+holds exactly, element sizes are one word each (as in the paper's
+Section 7 accounting), and malformed values are rejected the same way —
+only computational hardness is modeled rather than enforced.  DESIGN.md
+section 2 records this substitution.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any
+
+from repro.crypto.field import PrimeField
+from repro.crypto.hashing import hash_bytes, hash_to_int
+
+KIND_G = "G"
+KIND_GT = "GT"
+
+
+@dataclass(frozen=True)
+class GroupElement:
+    """An element of the simulated source group ``G`` or target group ``GT``.
+
+    ``log`` is an artifact of the generic-group simulation (the discrete
+    log w.r.t. the fixed generator); protocol code must treat elements as
+    opaque and use :class:`BilinearGroup` operations only.
+    """
+
+    kind: str
+    log: int
+
+    def word_size(self) -> int:
+        return 1
+
+
+class BilinearGroup:
+    """A symmetric bilinear group of prime order ``q`` (simulated)."""
+
+    __slots__ = ("q", "scalar_field", "g", "gt", "name")
+
+    def __init__(self, order: int, name: str = "bls-sim") -> None:
+        if order < 3:
+            raise ValueError("group order must be an odd prime > 2")
+        self.q = order
+        self.scalar_field = PrimeField(order)
+        self.g = GroupElement(KIND_G, 1)
+        self.gt = GroupElement(KIND_GT, 1)
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"BilinearGroup(order={self.q:#x})"
+
+    @property
+    def generator(self) -> GroupElement:
+        return self.g
+
+    @property
+    def order(self) -> int:
+        return self.q
+
+    def identity(self, kind: str = KIND_G) -> GroupElement:
+        return GroupElement(kind, 0)
+
+    # -- group law ---------------------------------------------------------------
+
+    def exp(self, base: GroupElement, exponent: int) -> GroupElement:
+        self._check(base)
+        return GroupElement(base.kind, base.log * exponent % self.q)
+
+    def mul(self, a: GroupElement, b: GroupElement) -> GroupElement:
+        self._check(a)
+        self._check(b)
+        if a.kind != b.kind:
+            raise ValueError("cannot multiply elements of different groups")
+        return GroupElement(a.kind, (a.log + b.log) % self.q)
+
+    def inv(self, a: GroupElement) -> GroupElement:
+        self._check(a)
+        return GroupElement(a.kind, -a.log % self.q)
+
+    def pair(self, a: GroupElement, b: GroupElement) -> GroupElement:
+        """The bilinear map ``e(g^x, g^y) = gT^(x*y)``."""
+        self._check(a)
+        self._check(b)
+        if a.kind != KIND_G or b.kind != KIND_G:
+            raise ValueError("pairing arguments must be source-group elements")
+        return GroupElement(KIND_GT, a.log * b.log % self.q)
+
+    def prod(self, elements: Any) -> GroupElement:
+        """Product of a non-empty iterable of same-kind elements."""
+        result = None
+        for element in elements:
+            result = element if result is None else self.mul(result, element)
+        if result is None:
+            raise ValueError("empty product")
+        return result
+
+    # -- sampling and hashing ------------------------------------------------------
+
+    def rand_scalar(self, rng: random.Random) -> int:
+        return rng.randrange(self.q)
+
+    def hash_to_group(self, domain: str, *parts: Any) -> GroupElement:
+        """Hash to a non-identity element of ``G``.
+
+        In the generic-group model the element is *defined* by its hash
+        exponent; the real scheme would use a constant-time hash-to-curve.
+        """
+        counter = 0
+        while True:
+            log = hash_to_int(domain, self.q, counter, *parts)
+            if log != 0:
+                return GroupElement(KIND_G, log)
+            counter += 1
+
+    def is_element(self, value: Any, kind: str = KIND_G) -> bool:
+        return (
+            isinstance(value, GroupElement)
+            and value.kind == kind
+            and isinstance(value.log, int)
+            and 0 <= value.log < self.q
+        )
+
+    def encode_element(self, value: GroupElement) -> bytes:
+        self._check(value)
+        return hash_bytes("pair-elem", self.name, value.kind, value.log)
+
+    # -- internal -------------------------------------------------------------------
+
+    def _check(self, value: GroupElement) -> None:
+        if not isinstance(value, GroupElement):
+            raise TypeError(f"expected GroupElement, got {type(value)!r}")
+        if not 0 <= value.log < self.q:
+            raise ValueError("element outside the group")

@@ -1,0 +1,174 @@
+"""Polynomials over a prime field: evaluation, interpolation, SCRAPE test.
+
+Used by Shamir sharing, the PVSS low-degree check and the threshold VRF's
+Lagrange-in-the-exponent combination step.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field as dc_field
+from typing import Sequence
+
+from repro.crypto.field import PrimeField
+
+
+@dataclass(frozen=True)
+class Polynomial:
+    """A polynomial ``coeffs[0] + coeffs[1] x + ...`` over ``field``."""
+
+    field: PrimeField = dc_field(metadata={"no_encode": True})
+    coeffs: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.coeffs:
+            raise ValueError("polynomial needs at least one coefficient")
+        for coeff in self.coeffs:
+            if not self.field.contains(coeff):
+                raise ValueError("coefficient outside the field")
+
+    @property
+    def degree(self) -> int:
+        return len(self.coeffs) - 1
+
+    def evaluate(self, x: int) -> int:
+        """Horner evaluation at ``x``."""
+        q = self.field.q
+        acc = 0
+        for coeff in reversed(self.coeffs):
+            acc = (acc * x + coeff) % q
+        return acc
+
+    def evaluate_many(self, xs: Sequence[int]) -> tuple[int, ...]:
+        return tuple(self.evaluate(x) for x in xs)
+
+    def add(self, other: "Polynomial") -> "Polynomial":
+        if other.field != self.field:
+            raise ValueError("field mismatch")
+        width = max(len(self.coeffs), len(other.coeffs))
+        mine = self.coeffs + (0,) * (width - len(self.coeffs))
+        theirs = other.coeffs + (0,) * (width - len(other.coeffs))
+        coeffs = tuple(self.field.add(a, b) for a, b in zip(mine, theirs))
+        return Polynomial(self.field, coeffs)
+
+
+def random_polynomial(
+    field: PrimeField,
+    degree: int,
+    rng: random.Random,
+    secret: int | None = None,
+) -> Polynomial:
+    """A uniformly random degree-``degree`` polynomial.
+
+    If ``secret`` is given it becomes the constant term (``f(0)``).
+    """
+    if degree < 0:
+        raise ValueError("degree must be non-negative")
+    constant = field.rand(rng) if secret is None else field.element(secret)
+    coeffs = (constant,) + tuple(field.rand(rng) for _ in range(degree))
+    return Polynomial(field, coeffs)
+
+
+def lagrange_coefficients(
+    field: PrimeField, xs: Sequence[int], at: int = 0
+) -> tuple[int, ...]:
+    """Lagrange coefficients ``λ_i`` such that ``f(at) = Σ λ_i f(xs[i])``.
+
+    The ``xs`` must be distinct field elements.
+    """
+    points = [field.element(x) for x in xs]
+    if len(set(points)) != len(points):
+        raise ValueError("interpolation points must be distinct")
+    coefficients = []
+    for i, x_i in enumerate(points):
+        numerator = 1
+        denominator = 1
+        for j, x_j in enumerate(points):
+            if i == j:
+                continue
+            numerator = numerator * field.sub(at, x_j) % field.q
+            denominator = denominator * field.sub(x_i, x_j) % field.q
+        coefficients.append(field.div(numerator, denominator))
+    return tuple(coefficients)
+
+
+def interpolate_at(
+    field: PrimeField,
+    points: Sequence[tuple[int, int]],
+    at: int = 0,
+) -> int:
+    """Evaluate the unique interpolating polynomial of ``points`` at ``at``."""
+    xs = [x for x, _ in points]
+    lambdas = lagrange_coefficients(field, xs, at)
+    return field.sum(field.mul(lam, y) for lam, (_, y) in zip(lambdas, points))
+
+
+def interpolate_polynomial(
+    field: PrimeField, points: Sequence[tuple[int, int]]
+) -> Polynomial:
+    """Full coefficient-form interpolation (O(k^2)); used by the RS decoder tests."""
+    xs = [field.element(x) for x, _ in points]
+    ys = [field.element(y) for _, y in points]
+    if len(set(xs)) != len(xs):
+        raise ValueError("interpolation points must be distinct")
+    # Newton's divided differences.
+    n = len(points)
+    table = list(ys)
+    for level in range(1, n):
+        for i in range(n - 1, level - 1, -1):
+            num = field.sub(table[i], table[i - 1])
+            den = field.sub(xs[i], xs[i - level])
+            table[i] = field.div(num, den)
+    # Expand Newton form to coefficients.
+    coeffs = [0] * n
+    coeffs[0] = table[0]
+    basis = [1] + [0] * (n - 1)  # running product (x - x_0)...(x - x_{k-1})
+    for k in range(1, n):
+        # basis *= (x - xs[k-1])
+        new_basis = [0] * n
+        for i in range(n):
+            if basis[i] == 0:
+                continue
+            if i + 1 < n:
+                new_basis[i + 1] = field.add(new_basis[i + 1], basis[i])
+            new_basis[i] = field.sub(new_basis[i], field.mul(basis[i], xs[k - 1]))
+        basis = new_basis
+        for i in range(n):
+            coeffs[i] = field.add(coeffs[i], field.mul(table[k], basis[i]))
+    while len(coeffs) > 1 and coeffs[-1] == 0:
+        coeffs.pop()
+    return Polynomial(field, tuple(coeffs))
+
+
+def scrape_coefficients(
+    field: PrimeField,
+    xs: Sequence[int],
+    degree: int,
+    rng: random.Random,
+) -> tuple[int, ...]:
+    """Random dual-code word for the SCRAPE low-degree test.
+
+    For evaluation points ``xs`` and claimed degree bound ``degree``, returns
+    coefficients ``c_i`` such that ``Σ c_i f(x_i) = 0`` for *every* polynomial
+    ``f`` of degree ≤ ``degree``, while a vector of evaluations that does not
+    lie on such a polynomial fails the check with probability ``1 - 1/q``.
+
+    ``c_i = m(x_i) / Π_{j≠i} (x_i - x_j)`` for a random polynomial ``m`` of
+    degree ≤ ``len(xs) - degree - 2``.
+    """
+    count = len(xs)
+    if degree < 0 or degree > count - 2:
+        raise ValueError("need at least degree + 2 points for a non-trivial test")
+    points = [field.element(x) for x in xs]
+    if len(set(points)) != len(points):
+        raise ValueError("evaluation points must be distinct")
+    mask = random_polynomial(field, count - degree - 2, rng)
+    coefficients = []
+    for i, x_i in enumerate(points):
+        denominator = 1
+        for j, x_j in enumerate(points):
+            if i == j:
+                continue
+            denominator = denominator * field.sub(x_i, x_j) % field.q
+        coefficients.append(field.mul(mask.evaluate(x_i), field.inv(denominator)))
+    return tuple(coefficients)

@@ -1,0 +1,208 @@
+"""Schoenmakers-style scalar PVSS over the *real* Schnorr group.
+
+A pairing-free publicly verifiable secret sharing: the classic scheme
+the pre-aggregation literature (the paper's first barrier) builds from.
+Unlike :mod:`repro.crypto.pvss` it (a) needs no pairing at all — every
+check is a real DLEQ proof over the safe-prime group — and (b) does
+**not** aggregate: combining k dealings keeps k transcripts around,
+which is precisely why protocols built on it pay the extra factor of n.
+
+It serves two roles in this repository: the honest-crypto reference the
+simulated-pairing PVSS is tested against behaviourally, and the sharing
+primitive a scalar-secret application would deploy today.
+
+Scheme (Schoenmakers '99, adapted):
+
+* dealer picks a degree-``f`` polynomial ``p``, publishes Feldman
+  commitments ``C_k = g^{a_k}`` to its coefficients and, per party ``j``,
+  the encrypted share ``Y_j = pk_j^{p(j)}`` with a DLEQ proof that the
+  exponent of ``Y_j`` under ``pk_j`` equals the exponent of
+  ``X_j = Π C_k^{j^k}`` under ``g``;
+* anyone verifies all proofs against the commitments alone;
+* party ``j`` decrypts ``S_j = Y_j^{1/sk_j} = g^{p(j)}`` with a DLEQ
+  proof of correct decryption; ``f+1`` decrypted shares Lagrange-combine
+  to ``g^{p(0)} = g^s`` (the secret lives in the exponent, as usual for
+  PVSS-based randomness).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.crypto import nizk
+from repro.crypto.group import SchnorrGroup
+from repro.crypto.polynomial import lagrange_coefficients, random_polynomial
+
+
+@dataclass(frozen=True)
+class ScalarDealing:
+    """One dealer's published sharing."""
+
+    dealer: int
+    commitments: tuple[int, ...]  # Feldman commitments to coefficients
+    encrypted_shares: tuple[int, ...]  # Y_j = pk_j^{p(j)}
+    proofs: tuple[nizk.DleqProof, ...]
+
+    def word_size(self) -> int:
+        return (
+            len(self.commitments) + len(self.encrypted_shares) + len(self.proofs)
+        )
+
+
+@dataclass(frozen=True)
+class DecryptedShare:
+    party: int
+    value: int  # g^{p(j)}
+    proof: nizk.DleqProof
+
+    def word_size(self) -> int:
+        return 2
+
+
+def _share_commitment(group: SchnorrGroup, commitments: Sequence[int], x: int) -> int:
+    """``X_x = Π C_k^{x^k} = g^{p(x)}`` from the coefficient commitments."""
+    acc = group.identity
+    power = 1
+    for commitment in commitments:
+        acc = group.mul(acc, group.exp(commitment, power))
+        power = power * x % group.q
+    return acc
+
+
+def deal(
+    group: SchnorrGroup,
+    dealer: int,
+    enc_pks: Sequence[int],
+    threshold: int,
+    rng: random.Random,
+    secret: int | None = None,
+) -> ScalarDealing:
+    """Share a (fresh or given) secret to ``len(enc_pks)`` parties."""
+    n = len(enc_pks)
+    if n <= threshold:
+        raise ValueError("need more parties than the threshold")
+    poly = random_polynomial(group.scalar_field, threshold, rng, secret=secret)
+    commitments = tuple(group.exp(group.g, a) for a in poly.coeffs)
+    encrypted = []
+    proofs = []
+    for j in range(n):
+        x = j + 1
+        share = poly.evaluate(x)
+        y_j = group.exp(enc_pks[j], share)
+        x_j = group.exp(group.g, share)
+        proof = nizk.prove_dleq(
+            group, group.g, x_j, enc_pks[j], y_j, share, rng, "spvss", dealer, j
+        )
+        encrypted.append(y_j)
+        proofs.append(proof)
+    return ScalarDealing(
+        dealer=dealer,
+        commitments=commitments,
+        encrypted_shares=tuple(encrypted),
+        proofs=tuple(proofs),
+    )
+
+
+def verify_dealing(
+    group: SchnorrGroup,
+    dealing: ScalarDealing,
+    enc_pks: Sequence[int],
+    threshold: int,
+) -> bool:
+    """Public verification against the commitments alone."""
+    if not isinstance(dealing, ScalarDealing):
+        return False
+    n = len(enc_pks)
+    if len(dealing.commitments) != threshold + 1:
+        return False
+    if len(dealing.encrypted_shares) != n or len(dealing.proofs) != n:
+        return False
+    if not all(group.is_element(c) for c in dealing.commitments):
+        return False
+    for j in range(n):
+        x_j = _share_commitment(group, dealing.commitments, j + 1)
+        ok = nizk.verify_dleq(
+            group,
+            group.g,
+            x_j,
+            enc_pks[j],
+            dealing.encrypted_shares[j],
+            dealing.proofs[j],
+            "spvss",
+            dealing.dealer,
+            j,
+        )
+        if not ok:
+            return False
+    return True
+
+
+def decrypt_share(
+    group: SchnorrGroup,
+    dealing: ScalarDealing,
+    party: int,
+    enc_sk: int,
+    rng: random.Random,
+) -> DecryptedShare:
+    """Party decrypts ``g^{p(party+1)}`` and proves it did so honestly."""
+    y_j = dealing.encrypted_shares[party]
+    inverse = pow(enc_sk, -1, group.q)
+    s_j = group.exp(y_j, inverse)
+    # DLEQ: log_{S_j}(Y_j) == log_g(pk) == enc_sk.
+    proof = nizk.prove_dleq(
+        group,
+        group.g,
+        group.exp(group.g, enc_sk),
+        s_j,
+        y_j,
+        enc_sk,
+        rng,
+        "spvss-dec",
+        dealing.dealer,
+        party,
+    )
+    return DecryptedShare(party=party, value=s_j, proof=proof)
+
+
+def verify_decrypted_share(
+    group: SchnorrGroup,
+    dealing: ScalarDealing,
+    share: DecryptedShare,
+    enc_pk: int,
+) -> bool:
+    if not isinstance(share, DecryptedShare):
+        return False
+    if not group.is_element(share.value):
+        return False
+    y_j = dealing.encrypted_shares[share.party]
+    return nizk.verify_dleq(
+        group,
+        group.g,
+        enc_pk,
+        share.value,
+        y_j,
+        share.proof,
+        "spvss-dec",
+        dealing.dealer,
+        share.party,
+    )
+
+
+def combine_shares(
+    group: SchnorrGroup, shares: Sequence[DecryptedShare], threshold: int
+) -> int:
+    """Recover ``g^{p(0)}`` (the secret in the exponent) from f+1 shares."""
+    distinct = {share.party: share for share in shares}
+    if len(distinct) < threshold + 1:
+        raise ValueError(
+            f"need at least {threshold + 1} decrypted shares, got {len(distinct)}"
+        )
+    chosen = sorted(distinct.values(), key=lambda share: share.party)[: threshold + 1]
+    xs = [share.party + 1 for share in chosen]
+    lambdas = lagrange_coefficients(group.scalar_field, xs, at=0)
+    acc = group.identity
+    for share, lam in zip(chosen, lambdas):
+        acc = group.mul(acc, group.exp(share.value, lam))
+    return acc

@@ -1,0 +1,51 @@
+"""Shamir secret sharing over a prime field.
+
+The PVSS layer shares *in the exponent*; this scalar version backs unit
+tests, the examples and the baseline protocols.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.crypto.field import PrimeField
+from repro.crypto.polynomial import interpolate_at, random_polynomial
+
+
+@dataclass(frozen=True)
+class ShamirShare:
+    """One share: the evaluation of the dealer polynomial at ``x``."""
+
+    x: int
+    y: int
+
+
+def share_secret(
+    field: PrimeField,
+    secret: int,
+    threshold: int,
+    n: int,
+    rng: random.Random,
+) -> tuple[ShamirShare, ...]:
+    """Split ``secret`` into ``n`` shares, any ``threshold + 1`` of which recover it.
+
+    ``threshold`` is the polynomial degree (the maximum number of shares
+    that reveal nothing), matching the paper's ``f``.
+    """
+    if threshold < 0:
+        raise ValueError("threshold must be non-negative")
+    if n <= threshold:
+        raise ValueError("need more shares than the threshold")
+    if n >= field.q:
+        raise ValueError("field too small for this many shares")
+    poly = random_polynomial(field, threshold, rng, secret=secret)
+    return tuple(ShamirShare(x=i, y=poly.evaluate(i)) for i in range(1, n + 1))
+
+
+def reconstruct_secret(field: PrimeField, shares: Sequence[ShamirShare]) -> int:
+    """Recover ``f(0)`` from shares (must be at least ``threshold + 1`` of them)."""
+    if not shares:
+        raise ValueError("no shares given")
+    return interpolate_at(field, [(share.x, share.y) for share in shares], at=0)

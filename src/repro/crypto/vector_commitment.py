@@ -1,0 +1,108 @@
+"""Pluggable vector commitments for the erasure-coded broadcast.
+
+Section 7.1 instantiates the broadcast's vector commitment with Merkle
+trees (``c = O(λ)``, proofs ``p = O(λ log n)``) and notes the SNARK-style
+alternative with ``O(1)`` proofs and a trusted setup.  Both backends are
+provided behind one interface so the broadcast (and hence the whole
+stack) can be ablated between them (benchmark E10):
+
+* :class:`MerkleScheme` — real SHA-256 Merkle trees, no setup;
+* :class:`KZGScheme` — KZG commitments over the simulated pairing with
+  one-word openings and a (simulation-grade, seed-derived) trusted setup.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.crypto.hashing import hash_to_int
+from repro.crypto.kzg import KZGOpening, KZGSetup
+from repro.crypto.merkle import MerkleProof, MerkleTree, verify_opening
+from repro.crypto.pairing import BilinearGroup, GroupElement
+
+
+class MerkleScheme:
+    """Merkle-tree vector commitment (the paper's default)."""
+
+    name = "merkle"
+
+    def commit(self, leaves: Sequence[bytes]) -> tuple[bytes, list[MerkleProof]]:
+        tree = MerkleTree(leaves)
+        return tree.root, [tree.prove(i) for i in range(len(leaves))]
+
+    def commitment_only(self, leaves: Sequence[bytes]) -> bytes:
+        return MerkleTree(leaves).root
+
+    def verify(
+        self,
+        commitment: Any,
+        leaf: bytes,
+        index: int,
+        proof: Any,
+        leaf_count: int,
+    ) -> bool:
+        if not isinstance(commitment, bytes):
+            return False
+        if not isinstance(proof, MerkleProof) or proof.index != index:
+            return False
+        return verify_opening(commitment, leaf, proof, leaf_count)
+
+    def is_commitment(self, value: Any) -> bool:
+        return isinstance(value, bytes) and len(value) == 32
+
+
+class KZGScheme:
+    """KZG vector commitment: one-word commitments *and* one-word proofs.
+
+    Leaves are hashed into the scalar field; the committed polynomial
+    interpolates those hashes at points ``0..n-1``.
+    """
+
+    name = "kzg"
+
+    def __init__(self, group: BilinearGroup, capacity: int, *seed_parts) -> None:
+        self.group = group
+        self.setup = KZGSetup.from_seed(group, capacity, "vc", *seed_parts)
+
+    def _leaf_values(self, leaves: Sequence[bytes]) -> list[int]:
+        return [
+            hash_to_int("kzg-vc-leaf", self.group.order, leaf) for leaf in leaves
+        ]
+
+    def commit(self, leaves: Sequence[bytes]) -> tuple[GroupElement, list[KZGOpening]]:
+        values = self._leaf_values(leaves)
+        commitment = self.setup.commit(values)
+        proofs = [self.setup.open_at(values, i) for i in range(len(values))]
+        return commitment, proofs
+
+    def commitment_only(self, leaves: Sequence[bytes]) -> GroupElement:
+        return self.setup.commit(self._leaf_values(leaves))
+
+    def verify(
+        self,
+        commitment: Any,
+        leaf: bytes,
+        index: int,
+        proof: Any,
+        leaf_count: int,
+    ) -> bool:
+        if not self.is_commitment(commitment):
+            return False
+        if not 0 <= index < leaf_count:
+            return False
+        value = hash_to_int("kzg-vc-leaf", self.group.order, leaf)
+        return self.setup.verify(commitment, index, value, proof)
+
+    def is_commitment(self, value: Any) -> bool:
+        return self.group.is_element(value)
+
+
+def make_scheme(kind: str, directory: Any) -> Any:
+    """Build a vector-commitment scheme by name for a given system."""
+    if kind == "merkle":
+        return MerkleScheme()
+    if kind == "kzg":
+        return KZGScheme(
+            directory.pair_group, directory.n + 1, directory.session, "ct-rbc"
+        )
+    raise ValueError(f"unknown vector commitment scheme {kind!r}")

@@ -1,0 +1,60 @@
+"""Asynchronous message-passing substrate.
+
+Protocols are *sans-io* state machines (:class:`repro.net.protocol.Protocol`)
+composed into per-party stacks (:class:`repro.net.party.Party`) and executed
+either by the deterministic discrete-event simulator
+(:class:`repro.net.runtime.Simulation`) or by the realtime asyncio runner
+(:mod:`repro.net.asyncio_runtime`).  The transport meters words, messages
+and causal rounds (:mod:`repro.net.metrics`), and the adversary controls
+both message scheduling and Byzantine party behaviour
+(:mod:`repro.net.adversary`).
+"""
+
+from repro.net.payload import Payload, words_of
+from repro.net.envelope import Envelope
+from repro.net.conditions import Completion
+from repro.net.protocol import Protocol
+from repro.net.party import Party
+from repro.net.metrics import Metrics
+from repro.net.delays import (
+    DelayModel,
+    FixedDelay,
+    UniformDelay,
+    ExponentialDelay,
+    HeavyTailDelay,
+)
+from repro.net.runtime import Simulation
+from repro.net.adversary import (
+    Behavior,
+    CrashBehavior,
+    SilentBehavior,
+    DropBehavior,
+    MutateBehavior,
+    EquivocateBehavior,
+    TargetedLagScheduler,
+    RandomLagScheduler,
+)
+
+__all__ = [
+    "Payload",
+    "words_of",
+    "Envelope",
+    "Completion",
+    "Protocol",
+    "Party",
+    "Metrics",
+    "DelayModel",
+    "FixedDelay",
+    "UniformDelay",
+    "ExponentialDelay",
+    "HeavyTailDelay",
+    "Simulation",
+    "Behavior",
+    "CrashBehavior",
+    "SilentBehavior",
+    "DropBehavior",
+    "MutateBehavior",
+    "EquivocateBehavior",
+    "TargetedLagScheduler",
+    "RandomLagScheduler",
+]

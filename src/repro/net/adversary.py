@@ -1,0 +1,227 @@
+"""The adversary: Byzantine behaviours and adversarial schedulers.
+
+Two orthogonal powers, matching the threat model of Section 2.1:
+
+* **Corruption** — up to ``f`` parties run a :class:`Behavior` that can
+  drop, mutate, duplicate or equivocate the messages their (otherwise
+  honest) stack produces, or silence the party entirely.  Tests that need
+  deeper protocol-specific misbehaviour subclass the honest protocol
+  instead (e.g. a dealer sharing an invalid PVSS transcript).
+* **Scheduling** — the adversary orders message delivery, subject to the
+  asynchronous model's one obligation: every message is delivered after a
+  finite delay.  Schedulers here multiply benign delays by bounded
+  factors, so eventual delivery is preserved by construction.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterable, Optional
+
+from repro.net.delays import DelayModel
+from repro.net.envelope import Envelope
+from repro.net.payload import Payload
+
+
+class Behavior:
+    """Byzantine behaviour hook for one corrupted party.
+
+    ``transform_outgoing`` may return any list of envelopes (empty to
+    drop); ``allow_delivery`` may swallow incoming messages.  The default
+    is honest behaviour.
+    """
+
+    def transform_outgoing(self, envelope: Envelope, rng: random.Random) -> list[Envelope]:
+        return [envelope]
+
+    def allow_delivery(self, envelope: Envelope, rng: random.Random) -> bool:
+        return True
+
+
+class SilentBehavior(Behavior):
+    """Sends nothing, ever — the strongest omission fault."""
+
+    def transform_outgoing(self, envelope: Envelope, rng: random.Random) -> list[Envelope]:
+        return []
+
+
+class CrashBehavior(Behavior):
+    """Honest until ``after_sends`` messages have left, then dead."""
+
+    def __init__(self, after_sends: int) -> None:
+        if after_sends < 0:
+            raise ValueError("after_sends must be non-negative")
+        self.after_sends = after_sends
+        self._sent = 0
+        self.crashed = False
+
+    def transform_outgoing(self, envelope: Envelope, rng: random.Random) -> list[Envelope]:
+        if self.crashed:
+            return []
+        self._sent += 1
+        if self._sent > self.after_sends:
+            self.crashed = True
+            return []
+        return [envelope]
+
+    def allow_delivery(self, envelope: Envelope, rng: random.Random) -> bool:
+        return not self.crashed
+
+
+class DropBehavior(Behavior):
+    """Drops each outgoing message independently with probability ``rate``."""
+
+    def __init__(self, rate: float) -> None:
+        if not 0 <= rate <= 1:
+            raise ValueError("rate must be in [0, 1]")
+        self.rate = rate
+
+    def transform_outgoing(self, envelope: Envelope, rng: random.Random) -> list[Envelope]:
+        if rng.random() < self.rate:
+            return []
+        return [envelope]
+
+
+class MutateBehavior(Behavior):
+    """Applies ``mutator(payload, recipient, rng)`` to selected messages.
+
+    The mutator returns a replacement payload, ``None`` to drop, or the
+    original to pass through.  ``selector`` picks which messages to
+    attack (default: all).
+    """
+
+    def __init__(
+        self,
+        mutator: Callable[[Payload, int, random.Random], Optional[Payload]],
+        selector: Optional[Callable[[Envelope], bool]] = None,
+    ) -> None:
+        self.mutator = mutator
+        self.selector = selector or (lambda envelope: True)
+
+    def transform_outgoing(self, envelope: Envelope, rng: random.Random) -> list[Envelope]:
+        if not self.selector(envelope):
+            return [envelope]
+        mutated = self.mutator(envelope.payload, envelope.recipient, rng)
+        if mutated is None:
+            return []
+        if mutated is envelope.payload:
+            return [envelope]
+        return [
+            Envelope(
+                path=envelope.path,
+                sender=envelope.sender,
+                recipient=envelope.recipient,
+                payload=mutated,
+                depth=envelope.depth,
+            )
+        ]
+
+
+class EquivocateBehavior(Behavior):
+    """Sends different payloads to different halves of the parties.
+
+    ``forger(payload, rng)`` builds the second version; recipients with
+    index in ``targets`` get the forged one.  Classic split-brain attack
+    against broadcast/agreement protocols.
+    """
+
+    def __init__(
+        self,
+        forger: Callable[[Payload, random.Random], Optional[Payload]],
+        targets: Iterable[int],
+        selector: Optional[Callable[[Envelope], bool]] = None,
+    ) -> None:
+        self.forger = forger
+        self.targets = frozenset(targets)
+        self.selector = selector or (lambda envelope: True)
+
+    def transform_outgoing(self, envelope: Envelope, rng: random.Random) -> list[Envelope]:
+        if not self.selector(envelope) or envelope.recipient not in self.targets:
+            return [envelope]
+        forged = self.forger(envelope.payload, rng)
+        if forged is None:
+            return []
+        return [
+            Envelope(
+                path=envelope.path,
+                sender=envelope.sender,
+                recipient=envelope.recipient,
+                payload=forged,
+                depth=envelope.depth,
+            )
+        ]
+
+
+# -- adversarial scheduling ------------------------------------------------------------
+
+
+class Scheduler:
+    """Turns a benign delay into the adversary's chosen (finite) delay."""
+
+    def schedule(
+        self,
+        rng: random.Random,
+        envelope: Envelope,
+        base_delay: float,
+        time: float,
+    ) -> float:
+        return base_delay
+
+
+class TargetedLagScheduler(Scheduler):
+    """Slows traffic touching a target set by ``factor`` until ``horizon``.
+
+    Models an adversary that isolates specific honest parties during the
+    critical phase of an election, then must let messages through
+    (eventual delivery).
+    """
+
+    def __init__(
+        self,
+        targets: Iterable[int],
+        factor: float = 10.0,
+        horizon: float = 50.0,
+    ) -> None:
+        if factor < 1:
+            raise ValueError("factor must be >= 1 to keep delays finite")
+        self.targets = frozenset(targets)
+        self.factor = factor
+        self.horizon = horizon
+
+    def schedule(
+        self,
+        rng: random.Random,
+        envelope: Envelope,
+        base_delay: float,
+        time: float,
+    ) -> float:
+        if time >= self.horizon:
+            return base_delay
+        if envelope.sender in self.targets or envelope.recipient in self.targets:
+            return base_delay * self.factor
+        return base_delay
+
+
+class RandomLagScheduler(Scheduler):
+    """Randomly stretches individual messages by up to ``factor``.
+
+    A chaos-monkey scheduler: keeps every delay finite but destroys any
+    timing assumption a protocol might accidentally rely on.
+    """
+
+    def __init__(self, factor: float = 20.0, rate: float = 0.2) -> None:
+        if factor < 1 or not 0 <= rate <= 1:
+            raise ValueError("factor must be >= 1 and rate in [0, 1]")
+        self.factor = factor
+        self.rate = rate
+
+    def schedule(
+        self,
+        rng: random.Random,
+        envelope: Envelope,
+        base_delay: float,
+        time: float,
+    ) -> float:
+        if rng.random() < self.rate:
+            return base_delay * rng.uniform(1.0, self.factor)
+        return base_delay

@@ -1,0 +1,116 @@
+"""Realtime asyncio transport for the same sans-io protocol objects.
+
+The deterministic simulator (:mod:`repro.net.runtime`) is what the
+benchmarks use; this runtime exists to demonstrate that the protocol
+implementations are genuinely transport-agnostic — they run unchanged
+over asyncio with real concurrent delivery, which is how a deployment
+would host them.
+
+Each network envelope becomes an ``asyncio`` task that sleeps for a
+random delay and then delivers; self-addressed envelopes are delivered
+inline.  Words/messages are metered exactly like the simulator.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Any, Callable, Optional
+
+from repro.crypto.keys import TrustedSetup
+from repro.net.adversary import Behavior
+from repro.net.envelope import Envelope
+from repro.net.metrics import Metrics
+from repro.net.party import Party
+from repro.net.protocol import Protocol
+
+RootFactory = Callable[[Party], Protocol]
+
+
+class AsyncioRuntime:
+    """Run an n-party protocol over asyncio with real sleeps."""
+
+    def __init__(
+        self,
+        setup: TrustedSetup,
+        max_delay: float = 0.005,
+        behaviors: Optional[dict[int, Behavior]] = None,
+        seed: int = 0,
+    ) -> None:
+        directory = setup.directory
+        self.setup = setup
+        self.n = directory.n
+        self.f = directory.f
+        self.max_delay = max_delay
+        self.behaviors = dict(behaviors or {})
+        self.metrics = Metrics()
+        self._rng = random.Random(f"asyncio-runtime-{seed}")
+        self.parties = [
+            Party(
+                index=i,
+                n=self.n,
+                f=self.f,
+                rng=random.Random(f"asyncio-party-{seed}-{i}"),
+                directory=directory,
+                secret=setup.secret(i),
+            )
+            for i in range(self.n)
+        ]
+        self._tasks: set[asyncio.Task] = set()
+        self._all_output = asyncio.Event()
+
+    async def run(self, root_factory: RootFactory, timeout: float = 60.0) -> dict[int, Any]:
+        """Start every party; return honest outputs (raises on timeout)."""
+        for party in self.parties:
+            party.run_root(root_factory(party))
+            party.sweep_conditions()
+        for party in self.parties:
+            self._flush(party)
+        self._check_done()
+        try:
+            await asyncio.wait_for(self._all_output.wait(), timeout=timeout)
+        finally:
+            for task in self._tasks:
+                task.cancel()
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+        honest = frozenset(range(self.n)) - frozenset(self.behaviors)
+        return {i: self.parties[i].result for i in sorted(honest)}
+
+    # -- internals -----------------------------------------------------------------
+
+    def _flush(self, party: Party) -> None:
+        pending = party.collect_outbox()
+        while pending:
+            envelope = pending.pop(0)
+            if envelope.recipient == envelope.sender:
+                self.metrics.record_delivery(envelope)
+                party.deliver(envelope)
+                pending.extend(party.collect_outbox())
+                continue
+            behavior = self.behaviors.get(envelope.sender)
+            outgoing = (
+                behavior.transform_outgoing(envelope, self._rng)
+                if behavior is not None
+                else [envelope]
+            )
+            for env in outgoing:
+                self.metrics.record_send(env)
+                task = asyncio.ensure_future(self._deliver_later(env))
+                self._tasks.add(task)
+                task.add_done_callback(self._tasks.discard)
+
+    async def _deliver_later(self, envelope: Envelope) -> None:
+        await asyncio.sleep(self._rng.uniform(0.0, self.max_delay))
+        behavior = self.behaviors.get(envelope.recipient)
+        if behavior is not None and not behavior.allow_delivery(envelope, self._rng):
+            return
+        self.metrics.record_delivery(envelope)
+        recipient = self.parties[envelope.recipient]
+        recipient.deliver(envelope)
+        self._flush(recipient)
+        self._check_done()
+
+    def _check_done(self) -> None:
+        honest = frozenset(range(self.n)) - frozenset(self.behaviors)
+        if all(self.parties[i].has_result for i in honest):
+            self._all_output.set()

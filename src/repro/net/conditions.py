@@ -1,0 +1,124 @@
+"""Reactive conditions: the paper's "upon <predicate>, do <action>" clauses.
+
+Asynchronous protocol pseudocode is full of guards that must fire as soon
+as the local state starts satisfying them — possibly long after the
+triggering message arrived (e.g. Gather's "upon S_j ⊆ S_i").  A
+:class:`ConditionRegistry` holds pending ``(predicate, action)`` pairs and
+re-evaluates them to fixpoint after every delivered event.
+
+:class:`Completion` is the future-like handle returned by verification
+protocols (``GatherVerify``, ``PEVerify``): it resolves at most once and
+runs callbacks registered before or after resolution.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+
+class Completion:
+    """A write-once future resolved by a condition."""
+
+    __slots__ = ("_done", "_value", "_callbacks")
+
+    def __init__(self) -> None:
+        self._done = False
+        self._value: Any = None
+        self._callbacks: list[Callable[[Any], None]] = []
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    @property
+    def value(self) -> Any:
+        if not self._done:
+            raise RuntimeError("completion not resolved yet")
+        return self._value
+
+    def resolve(self, value: Any = None) -> None:
+        if self._done:
+            return
+        self._done = True
+        self._value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(value)
+
+    def on_done(self, callback: Callable[[Any], None]) -> None:
+        if self._done:
+            callback(self._value)
+        else:
+            self._callbacks.append(callback)
+
+
+class Condition:
+    """One pending "upon" clause."""
+
+    __slots__ = ("predicate", "action", "once", "active", "label")
+
+    def __init__(
+        self,
+        predicate: Callable[[], bool],
+        action: Callable[[], None],
+        once: bool,
+        label: str,
+    ) -> None:
+        self.predicate = predicate
+        self.action = action
+        self.once = once
+        self.active = True
+        self.label = label
+
+    def cancel(self) -> None:
+        self.active = False
+
+
+class ConditionRegistry:
+    """All pending conditions of one party, re-checked to fixpoint."""
+
+    def __init__(self) -> None:
+        self._conditions: list[Condition] = []
+
+    def add(
+        self,
+        predicate: Callable[[], bool],
+        action: Callable[[], None],
+        once: bool = True,
+        label: str = "",
+    ) -> Condition:
+        condition = Condition(predicate, action, once, label)
+        self._conditions.append(condition)
+        return condition
+
+    def pending_count(self) -> int:
+        return sum(1 for condition in self._conditions if condition.active)
+
+    def run_to_fixpoint(self, max_rounds: int = 10_000) -> None:
+        """Fire every satisfied condition until nothing changes.
+
+        Actions may register new conditions or change state that satisfies
+        other conditions; the loop keeps sweeping until a full pass fires
+        nothing.  ``max_rounds`` guards against a pathological livelock.
+        """
+        for _ in range(max_rounds):
+            fired = False
+            for condition in list(self._conditions):
+                if not condition.active:
+                    continue
+                try:
+                    ready = condition.predicate()
+                except Exception as exc:  # predicate bugs must not be silent
+                    raise RuntimeError(
+                        f"condition predicate {condition.label!r} raised"
+                    ) from exc
+                if not ready:
+                    continue
+                if condition.once:
+                    condition.active = False
+                condition.action()
+                fired = True
+            self._conditions = [c for c in self._conditions if c.active]
+            if not fired:
+                return
+        raise RuntimeError("condition registry did not reach a fixpoint")

@@ -1,0 +1,35 @@
+"""Routed message envelopes.
+
+An envelope carries a payload between two parties together with the
+*instance path* that addresses the protocol instance inside the
+recipient's stack (e.g. ``("nwh", "view", 3, "pe", "gather", "vrb", 2)``)
+and the sender's causal depth, used for round accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.payload import Payload
+
+Path = tuple
+
+
+@dataclass(frozen=True)
+class Envelope:
+    path: Path
+    sender: int
+    recipient: int
+    payload: Payload
+    depth: int
+
+    def word_size(self) -> int:
+        """Words on the wire: the payload plus one routing word."""
+        return self.payload.word_size() + 1
+
+    def describe(self) -> str:
+        return (
+            f"{self.sender}->{self.recipient} "
+            f"{'/'.join(str(part) for part in self.path)} "
+            f"{self.payload.type_name()}"
+        )

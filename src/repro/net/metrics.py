@@ -1,0 +1,63 @@
+"""Word, message and round metering.
+
+Every send is recorded with its full instance path and payload type, so
+experiments can report both totals (Theorems 6-10 measure total words)
+and per-layer breakdowns (Theorem 8's ``n³·es + n²·ds + g(m+d) + b(n)``
+decomposition).  Layer attribution is *inclusive*: a reliable-broadcast
+message inside Gather inside PE counts towards ``rb``, ``gather`` and
+``pe``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.net.envelope import Envelope
+
+
+@dataclass
+class Metrics:
+    words_total: int = 0
+    messages_total: int = 0
+    words_by_layer: Counter = field(default_factory=Counter)
+    messages_by_layer: Counter = field(default_factory=Counter)
+    words_by_type: Counter = field(default_factory=Counter)
+    messages_by_type: Counter = field(default_factory=Counter)
+    max_depth: int = 0
+    deliveries: int = 0
+
+    def record_send(self, envelope: Envelope) -> None:
+        words = envelope.word_size()
+        self.words_total += words
+        self.messages_total += 1
+        type_name = envelope.payload.type_name()
+        self.words_by_type[type_name] += words
+        self.messages_by_type[type_name] += 1
+        for part in envelope.path:
+            layer = None
+            if isinstance(part, str):
+                layer = part
+            elif isinstance(part, tuple) and part and isinstance(part[0], str):
+                layer = part[0]
+            if layer is not None:
+                self.words_by_layer[layer] += words
+                self.messages_by_layer[layer] += 1
+
+    def record_delivery(self, envelope: Envelope) -> None:
+        self.deliveries += 1
+        if envelope.depth > self.max_depth:
+            self.max_depth = envelope.depth
+
+    def words_for_layer(self, layer: str) -> int:
+        return self.words_by_layer.get(layer, 0)
+
+    def summary(self) -> dict:
+        return {
+            "words_total": self.words_total,
+            "messages_total": self.messages_total,
+            "max_depth": self.max_depth,
+            "deliveries": self.deliveries,
+            "words_by_layer": dict(self.words_by_layer),
+            "words_by_type": dict(self.words_by_type),
+        }

@@ -1,0 +1,162 @@
+"""One party's protocol stack: routing, buffering, condition sweeps.
+
+The party owns a tree of protocol instances addressed by path, an outbox
+drained by the runtime, and the condition registry.  Messages that arrive
+for a path that has not been spawned yet are buffered and replayed on
+spawn — in an asynchronous network a peer may race ahead and message a
+sub-protocol the local party has not started.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Optional, TYPE_CHECKING
+
+from repro.net.conditions import ConditionRegistry
+from repro.net.envelope import Envelope, Path
+from repro.net.payload import Payload
+from repro.net.protocol import Protocol
+
+if TYPE_CHECKING:
+    from repro.crypto.keys import PartySecret, PublicDirectory
+
+
+class Party:
+    """A single party: protocol instances plus plumbing."""
+
+    def __init__(
+        self,
+        index: int,
+        n: int,
+        f: int,
+        rng: random.Random,
+        directory: Optional["PublicDirectory"] = None,
+        secret: Optional["PartySecret"] = None,
+    ) -> None:
+        self.index = index
+        self.n = n
+        self.f = f
+        self.rng = rng
+        self._directory = directory
+        self._secret = secret
+        self.conditions = ConditionRegistry()
+        self._instances: dict[Path, Protocol] = {}
+        self._pending: dict[Path, list[tuple[int, Payload]]] = {}
+        self._outbox: list[tuple[Path, int, Payload]] = []
+        self.current_depth = 0
+        self.result: Any = _UNSET
+        self.result_depth: Optional[int] = None
+        self.halted = False
+
+    # -- crypto access ---------------------------------------------------------------
+
+    @property
+    def directory(self) -> "PublicDirectory":
+        if self._directory is None:
+            raise RuntimeError("party has no public directory configured")
+        return self._directory
+
+    @property
+    def secret(self) -> "PartySecret":
+        if self._secret is None:
+            raise RuntimeError("party has no secret key material configured")
+        return self._secret
+
+    @property
+    def has_result(self) -> bool:
+        return self.result is not _UNSET
+
+    # -- stack management --------------------------------------------------------------
+
+    def run_root(self, protocol: Protocol) -> Protocol:
+        """Install and start the root protocol (path ``()``)."""
+        return self._install((), None, None, protocol)
+
+    def spawn(self, parent: Protocol, name: Any, child: Protocol) -> Protocol:
+        path = parent.path + (name,)
+        return self._install(path, parent, name, child)
+
+    def _install(
+        self, path: Path, parent: Optional[Protocol], name: Any, protocol: Protocol
+    ) -> Protocol:
+        if path in self._instances:
+            raise RuntimeError(f"instance already exists at {path!r}")
+        protocol._party = self
+        protocol._path = path
+        protocol._parent = parent
+        protocol._name = name
+        self._instances[path] = protocol
+        protocol.on_start()
+        for sender, payload in self._pending.pop(path, []):
+            protocol.on_message(sender, payload)
+        return protocol
+
+    def instance(self, path: Path) -> Optional[Protocol]:
+        return self._instances.get(path)
+
+    # -- event handling ------------------------------------------------------------------
+
+    def deliver(self, envelope: Envelope) -> None:
+        """Route one delivered envelope, then sweep conditions to fixpoint."""
+        if self.halted:
+            return
+        if envelope.depth > self.current_depth:
+            self.current_depth = envelope.depth
+        instance = self._instances.get(envelope.path)
+        if instance is None:
+            self._pending.setdefault(envelope.path, []).append(
+                (envelope.sender, envelope.payload)
+            )
+        else:
+            instance.on_message(envelope.sender, envelope.payload)
+        self.conditions.run_to_fixpoint()
+
+    def sweep_conditions(self) -> None:
+        self.conditions.run_to_fixpoint()
+
+    def dispatch_output(self, protocol: Protocol, value: Any) -> None:
+        if protocol._parent is not None:
+            protocol._parent.on_sub_output(protocol._name, value)
+        else:
+            self.result = value
+            self.result_depth = self.current_depth
+
+    # -- sending -----------------------------------------------------------------------
+
+    def queue_send(self, path: Path, recipient: int, payload: Payload) -> None:
+        if self.halted:
+            return
+        if not 0 <= recipient < self.n:
+            raise ValueError(f"recipient {recipient} out of range")
+        if not isinstance(payload, Payload):
+            raise TypeError(f"payload must be a Payload, got {type(payload)!r}")
+        self._outbox.append((path, recipient, payload))
+
+    def collect_outbox(self) -> list[Envelope]:
+        """Drain queued sends into envelopes stamped with the causal depth."""
+        depth = self.current_depth + 1
+        envelopes = [
+            Envelope(
+                path=path,
+                sender=self.index,
+                recipient=recipient,
+                payload=payload,
+                depth=depth,
+            )
+            for path, recipient, payload in self._outbox
+        ]
+        self._outbox.clear()
+        return envelopes
+
+    def halt(self) -> None:
+        """Stop processing and sending (used by crash behaviours)."""
+        self.halted = True
+        self._outbox.clear()
+
+
+class _Unset:
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<unset>"
+
+
+_UNSET = _Unset()

@@ -1,0 +1,147 @@
+"""The sans-io Protocol base class.
+
+A protocol instance is a state machine bound to one party and one
+*instance path*.  It reacts to three kinds of events:
+
+* ``on_start()`` — invoked once when the instance is spawned;
+* ``on_message(sender, payload)`` — a point-to-point message addressed to
+  this instance arrived;
+* ``on_sub_output(name, value)`` — a child instance produced its output.
+
+It acts through the helpers: ``send`` / ``multicast`` queue messages,
+``spawn`` creates a child instance (the child's path extends the
+parent's), ``output`` delivers this instance's result to the parent (or
+to the party if this is the root), and ``upon`` registers an "upon
+<predicate>, do <action>" condition re-checked after every event.
+
+Protocols never block; the paper's "wait for X" clauses become ``upon``
+conditions over accumulated state.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Optional, TYPE_CHECKING
+
+from repro.net.conditions import Completion, Condition
+from repro.net.payload import Payload
+
+if TYPE_CHECKING:
+    from repro.crypto.keys import PartySecret, PublicDirectory
+    from repro.net.party import Party
+
+
+class Protocol:
+    """Base class for sans-io protocol instances."""
+
+    def __init__(self) -> None:
+        self._party: Optional["Party"] = None
+        self._path: tuple = ()
+        self._parent: Optional["Protocol"] = None
+        self._name: Any = None
+        self._output_done = False
+        self.output_value: Any = None
+
+    # -- event hooks (override in subclasses) ------------------------------------
+
+    def on_start(self) -> None:
+        """Called once when the instance is spawned."""
+
+    def on_message(self, sender: int, payload: Payload) -> None:
+        """Called for each payload addressed to this instance."""
+
+    def on_sub_output(self, name: Any, value: Any) -> None:
+        """Called when child instance ``name`` outputs ``value``."""
+
+    # -- identity ------------------------------------------------------------------
+
+    @property
+    def party(self) -> "Party":
+        if self._party is None:
+            raise RuntimeError("protocol not bound to a party yet")
+        return self._party
+
+    @property
+    def path(self) -> tuple:
+        return self._path
+
+    @property
+    def me(self) -> int:
+        return self.party.index
+
+    @property
+    def n(self) -> int:
+        return self.party.n
+
+    @property
+    def f(self) -> int:
+        return self.party.f
+
+    @property
+    def quorum(self) -> int:
+        """``n - f``, the paper's ubiquitous waiting threshold."""
+        return self.party.n - self.party.f
+
+    @property
+    def rng(self) -> random.Random:
+        return self.party.rng
+
+    @property
+    def directory(self) -> "PublicDirectory":
+        return self.party.directory
+
+    @property
+    def secret(self) -> "PartySecret":
+        return self.party.secret
+
+    @property
+    def has_output(self) -> bool:
+        return self._output_done
+
+    # -- actions --------------------------------------------------------------------
+
+    def send(self, recipient: int, payload: Payload) -> None:
+        """Queue a point-to-point message to ``recipient`` for this instance."""
+        self.party.queue_send(self._path, recipient, payload)
+
+    def multicast(self, payload: Payload) -> None:
+        """Send to every party, self included (the paper's "send to all")."""
+        for recipient in range(self.n):
+            self.send(recipient, payload)
+
+    def spawn(self, name: Any, child: "Protocol") -> "Protocol":
+        """Create child instance ``name``; its path is ``self.path + (name,)``."""
+        return self.party.spawn(self, name, child)
+
+    def output(self, value: Any) -> None:
+        """Deliver this instance's output (once) to the parent / party.
+
+        Per the paper, instances keep processing messages after
+        outputting; ``output`` does not stop the instance.
+        """
+        if self._output_done:
+            return
+        self._output_done = True
+        self.output_value = value
+        self.party.dispatch_output(self, value)
+
+    def upon(
+        self,
+        predicate: Callable[[], bool],
+        action: Callable[[], None],
+        once: bool = True,
+        label: str = "",
+    ) -> Condition:
+        """Register an "upon <predicate>, do <action>" clause."""
+        return self.party.conditions.add(predicate, action, once=once, label=label)
+
+    def completion_when(
+        self,
+        predicate: Callable[[], bool],
+        value_fn: Callable[[], Any] = lambda: None,
+        label: str = "",
+    ) -> Completion:
+        """A :class:`Completion` that resolves when ``predicate`` first holds."""
+        completion = Completion()
+        self.upon(predicate, lambda: completion.resolve(value_fn()), label=label)
+        return completion

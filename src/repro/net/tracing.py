@@ -1,0 +1,122 @@
+"""Structured execution traces for protocol debugging and analysis.
+
+A :class:`Tracer` hooks a :class:`~repro.net.runtime.Simulation` and
+records every delivery as a structured event (time, sender, recipient,
+instance path, payload type, depth, words).  Traces answer the questions
+protocol debugging actually asks — "when did party 2's PE start emitting
+eval shares?", "which message triggered the view change?" — without
+printf-ing the protocol code.
+
+Filters keep traces small; ``timeline`` and ``summary`` render them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional
+
+from repro.net.envelope import Envelope
+from repro.net.runtime import Simulation
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    time: float
+    step: int
+    sender: int
+    recipient: int
+    path: tuple
+    payload_type: str
+    words: int
+    depth: int
+
+    def render(self) -> str:
+        path = "/".join(str(part) for part in self.path) or "(root)"
+        return (
+            f"t={self.time:8.2f} #{self.step:<6} {self.sender}->{self.recipient} "
+            f"{path:40s} {self.payload_type:16s} w={self.words:<4} d={self.depth}"
+        )
+
+
+class Tracer:
+    """Record simulation deliveries as structured events."""
+
+    def __init__(
+        self,
+        simulation: Simulation,
+        predicate: Optional[Callable[[Envelope], bool]] = None,
+        capacity: int = 1_000_000,
+    ) -> None:
+        self.simulation = simulation
+        self.predicate = predicate or (lambda envelope: True)
+        self.capacity = capacity
+        self.events: list[TraceEvent] = []
+        self._original_step = simulation.step
+        simulation.step = self._traced_step  # type: ignore[method-assign]
+
+    def _traced_step(self) -> bool:
+        before = self.simulation.metrics.deliveries
+        queue_snapshot = list(self.simulation._queue)
+        progressed = self._original_step()
+        if progressed and self.simulation.metrics.deliveries > before:
+            # Find the envelope that was just delivered: it is the earliest
+            # entry of the pre-step queue that is no longer pending.
+            delivered = self._find_delivered(queue_snapshot)
+            if delivered is not None and self.predicate(delivered):
+                if len(self.events) < self.capacity:
+                    self.events.append(
+                        TraceEvent(
+                            time=self.simulation.time,
+                            step=self.simulation.steps,
+                            sender=delivered.sender,
+                            recipient=delivered.recipient,
+                            path=delivered.path,
+                            payload_type=delivered.payload.type_name(),
+                            words=delivered.word_size(),
+                            depth=delivered.depth,
+                        )
+                    )
+        return progressed
+
+    def _find_delivered(self, snapshot: list) -> Optional[Envelope]:
+        if not snapshot:
+            return None
+        pending_ids = {id(entry[2]) for entry in self.simulation._queue}
+        for _, _, envelope in sorted(snapshot, key=lambda entry: (entry[0], entry[1])):
+            if id(envelope) not in pending_ids:
+                return envelope
+        return None
+
+    # -- queries ---------------------------------------------------------------------
+
+    def for_party(self, party: int) -> list[TraceEvent]:
+        return [e for e in self.events if e.recipient == party]
+
+    def for_layer(self, layer: str) -> list[TraceEvent]:
+        def in_layer(path: tuple) -> bool:
+            for part in path:
+                if part == layer:
+                    return True
+                if isinstance(part, tuple) and part and part[0] == layer:
+                    return True
+            return False
+
+        return [e for e in self.events if in_layer(e.path)]
+
+    def timeline(self, events: Optional[Iterable[TraceEvent]] = None) -> str:
+        chosen = list(events) if events is not None else self.events
+        return "\n".join(event.render() for event in chosen)
+
+    def summary(self) -> dict:
+        from collections import Counter
+
+        by_type: Counter = Counter()
+        for event in self.events:
+            by_type[event.payload_type] += 1
+        return {
+            "events": len(self.events),
+            "by_type": dict(by_type),
+            "span": (
+                (self.events[0].time, self.events[-1].time) if self.events else None
+            ),
+        }

@@ -1,0 +1,81 @@
+"""Experiment runners (smoke coverage: shapes and required fields)."""
+
+import pytest
+
+from repro.analysis import experiments as exp
+
+
+def test_broadcast_rows_have_expected_fields():
+    rows = exp.run_broadcast_experiment((4,), (8,), kinds=("ct", "bracha"))
+    assert len(rows) == 2
+    for row in rows:
+        assert row["experiment"] == "E1"
+        assert row["words"] > 0
+        assert row["messages"] > 0
+        assert row["rounds"] == 3.0
+
+
+def test_gather_rows():
+    rows = exp.run_gather_experiment((4,))
+    assert rows[0]["core_size"] >= 3
+    assert rows[0]["words"] > 0
+
+
+def test_pe_rows_breakdown_fields():
+    rows = exp.run_pe_experiment((4,))
+    row = rows[0]
+    for field in ("gather_words", "dkg_words", "eval_words", "idx_words"):
+        assert row[field] > 0
+    assert row["words"] >= row["gather_words"]
+
+
+def test_pe_quality_runner():
+    result = exp.run_pe_quality_experiment(4, range(3))
+    assert result["runs"] == 3
+    assert 0.0 <= result["binding_rate"] <= 1.0
+    assert result["termination_rate"] == 1.0
+
+
+def test_nwh_rows():
+    rows = exp.run_nwh_experiment((4,), seeds=(1, 2))
+    row = rows[0]
+    assert row["runs"] == 2
+    assert row["mean_views"] >= 1.0
+    assert row["words_per_view"] > 0
+
+
+def test_adkg_rows():
+    rows = exp.run_adkg_experiment((4,), seeds=(1,))
+    assert rows[0]["agreement_rate"] == 1.0
+    assert rows[0]["mean_words"] > 0
+
+
+def test_baseline_comparison_rows():
+    rows = exp.run_baseline_comparison((4,))
+    row = rows[0]
+    assert row["ours_words"] > 0 and row["baseline_words"] > 0
+    assert row["word_ratio"] == pytest.approx(
+        row["baseline_words"] / row["ours_words"]
+    )
+
+
+def test_fault_matrix_covers_all_cases():
+    rows = exp.run_fault_matrix(n=4, seed=1)
+    names = {row["fault"] for row in rows}
+    assert names == {
+        "none",
+        "silent",
+        "crash",
+        "drop-half",
+        "bad-shares",
+        "lag-target",
+        "lag-random",
+    }
+    assert all(row["agreement"] for row in rows)
+
+
+def test_rbc_ablation_rows():
+    rows = exp.run_rbc_ablation((4,), seeds=(1,))
+    kinds = {row["kind"] for row in rows}
+    assert kinds == {"ct", "bracha"}
+    assert all(row["experiment"] == "E9" for row in rows)

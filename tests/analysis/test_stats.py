@@ -1,0 +1,87 @@
+"""Statistics helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.stats import (
+    geometric_tail_bound,
+    percentile,
+    summarize,
+    wilson_interval,
+)
+
+
+def test_percentile_basics():
+    values = [1, 2, 3, 4, 5]
+    assert percentile(values, 0) == 1
+    assert percentile(values, 50) == 3
+    assert percentile(values, 100) == 5
+    assert percentile(values, 25) == 2.0
+    assert percentile([7], 50) == 7.0
+
+
+def test_percentile_validation():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+    with pytest.raises(ValueError):
+        percentile([1], 101)
+
+
+def test_summarize():
+    summary = summarize([2, 4, 4, 4, 5, 5, 7, 9])
+    assert summary.count == 8
+    assert summary.mean == 5.0
+    assert abs(summary.stdev - 2.138) < 0.01
+    assert summary.minimum == 2 and summary.maximum == 9
+    assert summary.median == 4.5
+    single = summarize([3])
+    assert single.stdev == 0.0
+    with pytest.raises(ValueError):
+        summarize([])
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50))
+def test_percentiles_are_monotone_and_bounded(values):
+    p10 = percentile(values, 10)
+    p50 = percentile(values, 50)
+    p90 = percentile(values, 90)
+    assert min(values) <= p10 <= p50 <= p90 <= max(values)
+
+
+def test_wilson_interval_contains_point_estimate():
+    low, high = wilson_interval(30, 40)
+    assert low < 30 / 40 < high
+    assert 0.0 <= low <= high <= 1.0
+
+
+def test_wilson_interval_extremes():
+    low, high = wilson_interval(0, 20)
+    assert low == 0.0 and high < 0.3
+    low, high = wilson_interval(20, 20)
+    assert high == 1.0 and low > 0.7
+
+
+def test_wilson_interval_narrows_with_trials():
+    low_small, high_small = wilson_interval(8, 10)
+    low_big, high_big = wilson_interval(800, 1000)
+    assert (high_big - low_big) < (high_small - low_small)
+
+
+def test_wilson_validation():
+    with pytest.raises(ValueError):
+        wilson_interval(1, 0)
+    with pytest.raises(ValueError):
+        wilson_interval(5, 4)
+
+
+def test_geometric_tail_bound():
+    # Theorem 9 with α = 1/3: ten views are already < 2% likely.
+    assert geometric_tail_bound(1 / 3, 10) < 0.02
+    assert geometric_tail_bound(1.0, 1) == 0.0
+    assert geometric_tail_bound(0.5, 0) == 1.0
+    with pytest.raises(ValueError):
+        geometric_tail_bound(0.0, 1)
+    with pytest.raises(ValueError):
+        geometric_tail_bound(0.5, -1)

@@ -1,0 +1,39 @@
+"""Table rendering."""
+
+from repro.analysis.tables import render_table
+
+
+def test_basic_rendering():
+    rows = [
+        {"n": 4, "words": 1234, "rate": 0.5},
+        {"n": 13, "words": 5678901, "rate": 1.0},
+    ]
+    text = render_table(rows)
+    lines = text.splitlines()
+    assert lines[0].startswith("| n ")
+    assert "1,234" in text
+    assert "5,678,901" in text
+    assert "0.50" in text
+    assert len(lines) == 4
+
+
+def test_column_selection_and_missing_values():
+    rows = [{"a": 1}, {"a": 2, "b": 3}]
+    text = render_table(rows, columns=["a", "b"])
+    assert "| -" in text or "- " in text
+
+
+def test_nan_renders_as_dash():
+    text = render_table([{"x": float("nan")}])
+    assert "-" in text.splitlines()[2]
+
+
+def test_empty():
+    assert render_table([]) == "(no data)"
+
+
+def test_alignment_consistency():
+    rows = [{"name": "short", "v": 1}, {"name": "a-much-longer-name", "v": 22}]
+    lines = render_table(rows).splitlines()
+    widths = {len(line) for line in lines}
+    assert len(widths) == 1  # all lines padded to the same width

@@ -1,0 +1,130 @@
+"""Binary ABA baseline: agreement, validity, termination."""
+
+import pytest
+
+from repro.baselines.aba import BinaryAgreement
+from repro.baselines.common_coin import CoinHelper
+from repro.crypto import threshold_vrf as tvrf
+from repro.net.adversary import RandomLagScheduler, SilentBehavior
+
+from tests.core.helpers import run_protocol
+from repro.crypto.keys import TrustedSetup
+
+
+def _factory_with_transcript(setup, inputs):
+    """ABAs share a coin over a pre-agreed transcript (strong coin mode)."""
+    import random
+
+    directory = setup.directory
+    rng = random.Random(99)
+    contributions = [
+        tvrf.DKGSh(directory, setup.secret(i), rng)
+        for i in range(2 * directory.f + 1)
+    ]
+    transcript = tvrf.DKGAggregate(directory, contributions)
+
+    def make(party):
+        coin = CoinHelper(
+            directory, setup.secret(party.index), context="test-aba", transcript=transcript
+        )
+        return BinaryAgreement(coin=coin, input_bit=inputs[party.index])
+
+    return make
+
+
+def _run(n, inputs, seed=1, behaviors=None, scheduler=None):
+    setup = TrustedSetup.generate(n, seed=seed)
+    factory = _factory_with_transcript(setup, inputs)
+    return run_protocol(
+        n, factory, seed=seed, setup=setup, behaviors=behaviors, scheduler=scheduler
+    )
+
+
+def _outputs(sim):
+    return {i: sim.parties[i].result for i in sim.honest if sim.parties[i].has_result}
+
+
+def test_validity_unanimous_one():
+    sim = _run(4, [1, 1, 1, 1])
+    assert set(_outputs(sim).values()) == {1}
+    assert len(_outputs(sim)) == 4
+
+
+def test_validity_unanimous_zero():
+    sim = _run(4, [0, 0, 0, 0])
+    assert set(_outputs(sim).values()) == {0}
+
+
+def test_agreement_mixed_inputs():
+    for seed in range(5):
+        sim = _run(4, [0, 1, 0, 1], seed=seed)
+        outputs = _outputs(sim)
+        assert len(outputs) == 4, f"seed {seed}"
+        assert len(set(outputs.values())) == 1, f"seed {seed}"
+
+
+def test_decision_is_some_input():
+    sim = _run(4, [1, 0, 1, 1], seed=3)
+    decided = set(_outputs(sim).values())
+    assert decided <= {0, 1}
+
+
+def test_tolerates_silent_party():
+    sim = _run(4, [1, 1, 1, 1], behaviors={3: SilentBehavior()}, seed=2)
+    outputs = _outputs(sim)
+    assert len(outputs) == 3
+    assert set(outputs.values()) == {1}
+
+
+def test_adversarial_scheduling():
+    sim = _run(
+        4, [0, 1, 1, 0], scheduler=RandomLagScheduler(factor=20, rate=0.3), seed=7
+    )
+    outputs = _outputs(sim)
+    assert len(outputs) == 4
+    assert len(set(outputs.values())) == 1
+
+
+def test_late_input_via_provide_input():
+    """The ACS lattice provides inputs late; ABA must cope."""
+    setup = TrustedSetup.generate(4, seed=4)
+    directory = setup.directory
+
+    import random
+
+    rng = random.Random(5)
+    contributions = [
+        tvrf.DKGSh(directory, setup.secret(i), rng) for i in range(3)
+    ]
+    transcript = tvrf.DKGAggregate(directory, contributions)
+
+    from repro.net.protocol import Protocol
+
+    class LateInput(Protocol):
+        def on_start(self):
+            coin = CoinHelper(
+                directory,
+                setup.secret(self.me),
+                context="late",
+                transcript=transcript,
+            )
+            self.aba = BinaryAgreement(coin=coin)
+            self.spawn("aba", self.aba)
+            # Provide input only after a round of gossip.
+            from tests.net.helpers import Ping
+
+            self.multicast(Ping(0))
+            self.seen = set()
+
+        def on_message(self, sender, payload):
+            self.seen.add(sender)
+            if len(self.seen) >= 3:
+                self.aba.provide_input(1)
+
+        def on_sub_output(self, name, value):
+            self.output(value)
+
+    sim = run_protocol(4, lambda party: LateInput(), seed=4, setup=setup)
+    outputs = _outputs(sim)
+    assert len(outputs) == 4
+    assert set(outputs.values()) == {1}

@@ -1,0 +1,79 @@
+"""Bracha reliable broadcast: Section 2.2 properties."""
+
+import pytest
+
+from repro.net.adversary import EquivocateBehavior, SilentBehavior
+from repro.broadcast.bracha import BrachaVal
+
+from tests.broadcast.helpers import run_broadcast
+
+
+def test_validity_honest_dealer():
+    sim = run_broadcast(4, "bracha", ("payload", 7))
+    for i in sim.honest:
+        assert sim.parties[i].result == ("payload", 7)
+
+
+def test_agreement_and_termination_with_silent_party():
+    sim = run_broadcast(4, "bracha", "v", behaviors={2: SilentBehavior()})
+    results = sim.honest_results()
+    assert len(results) == 3
+    assert set(results.values()) == {"v"}
+
+
+def test_silent_dealer_no_output():
+    sim = run_broadcast(4, "bracha", "v", dealer=3, behaviors={3: SilentBehavior()})
+    assert sim.honest_results() == {}
+
+
+def test_equivocating_dealer_preserves_agreement():
+    """Dealer sends different VALs to different halves: agreement must hold."""
+
+    def forger(payload, rng):
+        if isinstance(payload, BrachaVal):
+            return BrachaVal(value="evil")
+        return payload
+
+    sim = run_broadcast(
+        4,
+        "bracha",
+        "good",
+        behaviors={0: EquivocateBehavior(forger, targets={1})},
+    )
+    results = sim.honest_results()
+    assert len(set(results.values())) <= 1  # never two different outputs
+
+
+def test_external_validity_blocks_invalid_value():
+    sim = run_broadcast(4, "bracha", -1, validate=lambda v: isinstance(v, int) and v > 0)
+    assert sim.honest_results() == {}
+
+
+def test_external_validity_passes_valid_value():
+    sim = run_broadcast(4, "bracha", 5, validate=lambda v: isinstance(v, int) and v > 0)
+    assert set(sim.honest_results().values()) == {5}
+
+
+def test_crashing_validator_treated_as_invalid():
+    def bad_validate(value):
+        raise RuntimeError("boom")
+
+    sim = run_broadcast(4, "bracha", 5, validate=bad_validate)
+    assert sim.honest_results() == {}
+
+
+def test_dealer_must_have_value():
+    with pytest.raises(Exception):
+        run_broadcast(4, "bracha", None)
+
+
+def test_word_complexity_scales_with_message_size():
+    small = run_broadcast(4, "bracha", (1,) * 4).metrics.words_total
+    large = run_broadcast(4, "bracha", (1,) * 256).metrics.words_total
+    # O(n^2 m): the 64x bigger message costs roughly 64x more words.
+    assert large > 30 * small
+
+
+def test_all_parties_output_not_only_dealer():
+    sim = run_broadcast(7, "bracha", "wide")
+    assert len(sim.honest_results()) == 7

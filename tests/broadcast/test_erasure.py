@@ -1,0 +1,104 @@
+"""Reed-Solomon coding over GF(256)."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.broadcast.erasure import (
+    fragment_point,
+    gf_inv,
+    gf_mul,
+    rs_decode,
+    rs_encode,
+)
+
+
+def test_gf_field_laws():
+    rng = random.Random(0)
+    for _ in range(200):
+        a, b, c = rng.randrange(256), rng.randrange(256), rng.randrange(256)
+        assert gf_mul(a, b) == gf_mul(b, a)
+        assert gf_mul(gf_mul(a, b), c) == gf_mul(a, gf_mul(b, c))
+        assert gf_mul(a, b ^ c) == gf_mul(a, b) ^ gf_mul(a, c)
+    for a in range(1, 256):
+        assert gf_mul(a, gf_inv(a)) == 1
+
+
+def test_gf_inv_zero_raises():
+    with pytest.raises(ZeroDivisionError):
+        gf_inv(0)
+
+
+@settings(max_examples=30)
+@given(st.binary(max_size=200), st.integers(min_value=1, max_value=5))
+def test_roundtrip_from_first_k(data, k):
+    n = 3 * k + 1
+    fragments = rs_encode(data, k, n)
+    assert len(fragments) == n
+    subset = {i: fragments[i] for i in range(k)}
+    assert rs_decode(subset, k) == data
+
+
+def test_roundtrip_from_every_subset():
+    data = b"erasure coded broadcast"
+    k, n = 3, 7
+    fragments = rs_encode(data, k, n)
+    for subset in itertools.combinations(range(n), k):
+        chosen = {i: fragments[i] for i in subset}
+        assert rs_decode(chosen, k) == data
+
+
+def test_empty_message():
+    fragments = rs_encode(b"", 2, 5)
+    assert rs_decode({3: fragments[3], 1: fragments[1]}, 2) == b""
+
+
+def test_extra_fragments_are_fine():
+    data = b"x" * 50
+    fragments = rs_encode(data, 2, 6)
+    assert rs_decode(dict(enumerate(fragments)), 2) == data
+
+
+def test_too_few_fragments_raises():
+    fragments = rs_encode(b"abc", 3, 7)
+    with pytest.raises(ValueError):
+        rs_decode({0: fragments[0]}, 3)
+
+
+def test_inconsistent_lengths_raise():
+    fragments = rs_encode(b"abcdef", 2, 5)
+    with pytest.raises(ValueError):
+        rs_decode({0: fragments[0], 1: fragments[1] + b"\x00"}, 2)
+
+
+def test_corrupted_fragment_breaks_decode():
+    data = b"a message that matters"
+    k = 3
+    fragments = rs_encode(data, k, 7)
+    corrupted = bytes([fragments[0][0] ^ 1]) + fragments[0][1:]
+    chosen = {0: corrupted, 1: fragments[1], 2: fragments[2]}
+    try:
+        decoded = rs_decode(chosen, k)
+    except ValueError:
+        return  # length prefix became invalid — acceptable failure mode
+    assert decoded != data
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        rs_encode(b"x", 0, 4)
+    with pytest.raises(ValueError):
+        rs_encode(b"x", 5, 4)
+    with pytest.raises(ValueError):
+        rs_encode(b"x", 2, 600)
+    with pytest.raises(ValueError):
+        fragment_point(255)
+
+
+def test_fragment_sizes_shrink_with_k():
+    data = b"z" * 300
+    small_k = rs_encode(data, 1, 4)
+    large_k = rs_encode(data, 4, 13)
+    assert len(large_k[0]) < len(small_k[0])

@@ -1,0 +1,28 @@
+"""Value (de)serialization for dispersal broadcasts."""
+
+from repro.broadcast.wire import deserialize, serialize
+from repro.core.certificates import KeyTuple
+
+
+def test_roundtrip_plain_values():
+    for value in (1, "x", (1, 2, "y"), {"a": (1, 2)}, [1, [2, 3]], None, b"raw"):
+        assert deserialize(serialize(value)) == value
+
+
+def test_roundtrip_protocol_values():
+    import random
+
+    from repro.crypto import pvss
+    from repro.crypto.keys import TrustedSetup
+
+    setup = TrustedSetup.generate(4, seed=1)
+    contribution = pvss.deal(setup.directory, setup.secret(0), random.Random(2))
+    assert deserialize(serialize(contribution)) == contribution
+    key_tuple = KeyTuple(0, ("v", 1), None)
+    assert deserialize(serialize(key_tuple)) == key_tuple
+
+
+def test_malformed_bytes_give_none():
+    assert deserialize(b"") is None
+    assert deserialize(b"\x00\x01garbage") is None
+    assert deserialize(serialize((1, 2))[:-2]) is None

@@ -1,0 +1,45 @@
+"""Shared harnesses for core-protocol tests."""
+
+from typing import Any, Callable, Optional
+
+from repro.crypto.keys import TrustedSetup
+from repro.net.party import Party
+from repro.net.protocol import Protocol
+from repro.net.runtime import Simulation
+
+
+def run_protocol(
+    n: int,
+    factory: Callable[[Party], Protocol],
+    seed: int = 1,
+    behaviors=None,
+    scheduler=None,
+    delay_model=None,
+    setup: Optional[TrustedSetup] = None,
+    max_steps: int = 5_000_000,
+    to_quiescence: bool = True,
+):
+    """Run a root-protocol simulation and return it."""
+    setup = setup or TrustedSetup.generate(n, seed=seed)
+    sim = Simulation(
+        setup,
+        seed=seed,
+        behaviors=behaviors,
+        scheduler=scheduler,
+        delay_model=delay_model,
+    )
+    sim.start(factory)
+    if to_quiescence:
+        sim.run(max_steps=max_steps)
+    else:
+        sim.run_until_all_honest_output(max_steps=max_steps)
+    return sim
+
+
+def gather_core(sim) -> set:
+    """The (superset of the) binding core: intersection of honest outputs."""
+    outputs = [set(sim.parties[i].result.keys()) for i in sim.honest]
+    core = outputs[0]
+    for indices in outputs[1:]:
+        core &= indices
+    return core

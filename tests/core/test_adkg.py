@@ -1,0 +1,106 @@
+"""A-DKG end-to-end: Theorem 5 plus threshold usefulness of the output."""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.core.adkg import ADKG, ADKGShare
+from repro.crypto import pvss, threshold_vrf as tvrf
+from repro.net.adversary import MutateBehavior, RandomLagScheduler, SilentBehavior
+
+from tests.core.helpers import run_protocol
+
+
+def _factory(kind="ct"):
+    return lambda party: ADKG(broadcast_kind=kind)
+
+
+def _outputs(sim):
+    return {i: sim.parties[i].result for i in sim.honest if sim.parties[i].has_result}
+
+
+def test_agreement_all_parties_same_transcript():
+    sim = run_protocol(4, _factory())
+    outputs = _outputs(sim)
+    assert len(outputs) == 4
+    transcripts = list(outputs.values())
+    assert all(t == transcripts[0] for t in transcripts)
+
+
+def test_output_transcript_verifies():
+    sim = run_protocol(4, _factory())
+    directory = sim.setup.directory
+    transcript = next(iter(_outputs(sim).values()))
+    assert tvrf.DKGVerify(directory, transcript)
+    assert len(transcript.contributors) >= 2 * directory.f + 1
+
+
+def test_tolerates_silent_party():
+    sim = run_protocol(4, _factory(), behaviors={3: SilentBehavior()}, seed=5)
+    outputs = _outputs(sim)
+    assert len(outputs) == 3
+    assert len(set(id(v) for v in outputs.values())) >= 1
+    first = next(iter(outputs.values()))
+    assert all(v == first for v in outputs.values())
+
+
+def test_invalid_share_dealer_is_ignored_but_protocol_finishes():
+    """A dealer mangling its PVSS contributions cannot stall the ADKG."""
+
+    def mutate(payload, recipient, rng):
+        if isinstance(payload, ADKGShare):
+            contribution = payload.contribution
+            group_element = contribution.commitments[0]
+            bad = dataclasses.replace(
+                contribution,
+                commitments=(group_element,) * len(contribution.commitments),
+            )
+            return ADKGShare(contribution=bad)
+        return payload
+
+    selector = lambda env: isinstance(env.payload, ADKGShare)
+    sim = run_protocol(
+        4,
+        _factory(),
+        behaviors={2: MutateBehavior(mutate, selector)},
+        seed=6,
+    )
+    outputs = _outputs(sim)
+    assert len(outputs) == 3
+    first = next(iter(outputs.values()))
+    assert all(v == first for v in outputs.values())
+    # The mangled dealer's contribution cannot appear in the agreed DKG.
+    assert 2 not in first.contributors
+
+
+def test_threshold_vrf_usable_from_agreed_transcript():
+    """End-to-end: the agreed DKG powers a working threshold VRF."""
+    sim = run_protocol(4, _factory(), seed=7)
+    directory = sim.setup.directory
+    transcript = next(iter(_outputs(sim).values()))
+    message = ("beacon", 1)
+    shares = [
+        tvrf.EvalSh(directory, sim.setup.secret(i), transcript, message)
+        for i in range(directory.f + 1)
+    ]
+    for i, share in enumerate(shares):
+        assert tvrf.EvalShVerify(directory, transcript, i, message, share)
+    evaluation, proof = tvrf.Eval(directory, transcript, message, shares)
+    assert tvrf.EvalVerify(directory, transcript, message, evaluation, proof)
+
+
+def test_adversarial_scheduling():
+    sim = run_protocol(
+        4, _factory(), scheduler=RandomLagScheduler(factor=20, rate=0.3), seed=8
+    )
+    outputs = _outputs(sim)
+    assert len(outputs) == 4
+    first = next(iter(outputs.values()))
+    assert all(v == first for v in outputs.values())
+
+
+def test_rounds_are_constant_scale():
+    """Expected O(1) rounds: causal depth should be far below n."""
+    sim = run_protocol(4, _factory(), seed=9)
+    assert sim.metrics.max_depth < 60

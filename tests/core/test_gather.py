@@ -1,0 +1,123 @@
+"""Verifiable Gather: Theorem 1 properties."""
+
+import pytest
+
+from repro.core.gather import Gather
+from repro.net.adversary import RandomLagScheduler, SilentBehavior
+
+from tests.core.helpers import gather_core, run_protocol
+
+
+def _factory(validate=None, kind="ct"):
+    def make(party):
+        return Gather(
+            my_value=("input-of", party.index),
+            validate=validate,
+            broadcast_kind=kind,
+        )
+
+    return make
+
+
+def test_termination_all_honest_output():
+    sim = run_protocol(4, _factory())
+    for i in range(4):
+        result = sim.parties[i].result
+        assert isinstance(result, dict)
+        assert len(result) >= sim.parties[i].n - sim.parties[i].f
+
+
+def test_internal_validity_values_are_inputs():
+    sim = run_protocol(4, _factory())
+    for i in range(4):
+        for j, value in sim.parties[i].result.items():
+            assert value == ("input-of", j)
+
+
+def test_binding_core_is_large():
+    """The intersection of all outputs contains a core of >= n - f indices."""
+    sim = run_protocol(7, _factory())
+    assert len(gather_core(sim)) >= 7 - 2
+
+
+def test_agreement_common_indices_share_values():
+    sim = run_protocol(7, _factory())
+    for i in sim.honest:
+        for j in sim.honest:
+            a, b = sim.parties[i].result, sim.parties[j].result
+            for k in set(a) & set(b):
+                assert a[k] == b[k]
+
+
+def test_completeness_every_output_verifies_everywhere():
+    sim = run_protocol(4, _factory())
+    for i in range(4):
+        indices = frozenset(sim.parties[i].result)
+        for j in range(4):
+            gather_j = sim.parties[j].instance(())
+            completion = gather_j.verify(indices)
+            sim.parties[j].sweep_conditions()
+            assert completion.done
+            assert completion.value == sim.parties[i].result
+
+
+def test_verified_sets_contain_the_core():
+    """Includes Core: any index-set that verifies is a superset of the core."""
+    import itertools
+
+    sim = run_protocol(4, _factory())
+    core = gather_core(sim)
+    verifier = sim.parties[0].instance(())
+    for subset in itertools.combinations(range(4), 3):
+        completion = verifier.verify(frozenset(subset))
+        sim.parties[0].sweep_conditions()
+        if completion.done:
+            assert core <= set(subset)
+
+
+def test_structurally_invalid_sets_never_verify():
+    sim = run_protocol(4, _factory())
+    verifier = sim.parties[0].instance(())
+    for bad in (frozenset({0}), frozenset({0, 1, 99}), "junk", frozenset()):
+        completion = verifier.verify(bad)
+        sim.parties[0].sweep_conditions()
+        assert not completion.done
+
+
+def test_tolerates_f_silent_parties():
+    sim = run_protocol(7, _factory(), behaviors={5: SilentBehavior(), 6: SilentBehavior()})
+    for i in sim.honest:
+        result = sim.parties[i].result
+        assert result is not None and len(result) >= 5
+
+
+def test_external_validity_filters_inputs():
+    # Party 3's input fails validation; it can never appear in any output.
+    def make(party):
+        value = ("bad",) if party.index == 3 else ("good", party.index)
+        return Gather(my_value=value, validate=lambda v: v[0] == "good")
+
+    sim = run_protocol(4, make)
+    for i in sim.honest:
+        result = sim.parties[i].result
+        assert result is not None
+        assert 3 not in result
+
+
+def test_gather_under_adversarial_scheduling():
+    sim = run_protocol(
+        4, _factory(), scheduler=RandomLagScheduler(factor=30, rate=0.4), seed=9
+    )
+    assert len(gather_core(sim)) >= 3
+
+
+def test_gather_with_bracha_broadcast():
+    sim = run_protocol(4, _factory(kind="bracha"))
+    assert len(gather_core(sim)) >= 3
+
+
+def test_outputs_are_snapshots_not_aliases():
+    sim = run_protocol(4, _factory())
+    instance = sim.parties[0].instance(())
+    result = sim.parties[0].result
+    assert result == dict(instance.values) or set(result) <= set(instance.values)

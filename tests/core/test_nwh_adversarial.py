@@ -1,0 +1,161 @@
+"""Protocol-level attacks against NWH: forged certificates, bogus votes,
+stale keys, fake commits.  Safety (agreement + validity) must survive all
+of them with f corrupted parties."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import certificates as certs
+from repro.core.nwh import (
+    NWH,
+    BlameMsg,
+    CommitMsg,
+    EchoMsg,
+    KeyVoteMsg,
+    LockVoteMsg,
+    Suggest,
+)
+from repro.net.adversary import MutateBehavior
+
+from tests.core.helpers import run_protocol
+
+
+def _factory(validate=None):
+    def make(party):
+        return NWH(my_value=("value-of", party.index), validate=validate)
+
+    return make
+
+
+def _outputs(sim):
+    return {i: sim.parties[i].result for i in sim.honest if sim.parties[i].has_result}
+
+
+def _assert_safe(sim, expected_honest):
+    outputs = _outputs(sim)
+    assert len(outputs) == expected_honest
+    assert len(set(outputs.values())) == 1
+    value = next(iter(outputs.values()))
+    assert value[0] == "value-of"
+
+
+def test_forged_commit_messages_are_ignored():
+    """A corrupt party floods commits with junk certificates."""
+
+    def mutate(payload, recipient, rng):
+        if isinstance(payload, Suggest):
+            return CommitMsg(value=("value-of", 99), proof=("garbage",), view=1)
+        return payload
+
+    sim = run_protocol(
+        4, _factory(), behaviors={3: MutateBehavior(mutate)}, seed=21
+    )
+    _assert_safe(sim, 3)
+    for value in _outputs(sim).values():
+        assert value != ("value-of", 99)
+
+
+def test_unsigned_key_votes_are_ignored():
+    """A corrupt party strips/garbles the signatures on its vote messages."""
+
+    def mutate(payload, recipient, rng):
+        if isinstance(payload, (KeyVoteMsg, LockVoteMsg)):
+            return dataclasses.replace(payload, vote="not-a-vote")
+        return payload
+
+    sim = run_protocol(
+        4, _factory(), behaviors={2: MutateBehavior(mutate)}, seed=22
+    )
+    _assert_safe(sim, 3)
+
+
+def test_stale_suggest_keys_are_rejected():
+    """A corrupt party claims keys from the current/future views."""
+
+    def mutate(payload, recipient, rng):
+        if isinstance(payload, Suggest):
+            forged_key = certs.KeyTuple(payload.view + 5, ("value-of", 99), None)
+            return dataclasses.replace(payload, key=forged_key)
+        return payload
+
+    sim = run_protocol(
+        4, _factory(), behaviors={1: MutateBehavior(mutate)}, seed=23
+    )
+    _assert_safe(sim, 3)
+
+
+def test_garbled_echo_votes_are_ignored():
+    def mutate(payload, recipient, rng):
+        if isinstance(payload, EchoMsg):
+            return dataclasses.replace(payload, vote="junk")
+        return payload
+
+    sim = run_protocol(
+        4, _factory(), behaviors={3: MutateBehavior(mutate)}, seed=24
+    )
+    _assert_safe(sim, 3)
+
+
+def test_spurious_blames_with_bad_locks_are_ignored():
+    """Blames whose lock 'evidence' is uncertified must not move views."""
+
+    def mutate(payload, recipient, rng):
+        if isinstance(payload, EchoMsg):
+            return BlameMsg(
+                key=payload.key,
+                election_proof=payload.election_proof,
+                lock_view=3,  # claims a view-3 lock with no certificate
+                lock_value=("value-of", 99),
+                lock_proof=("garbage",),
+                view=payload.view,
+            )
+        return payload
+
+    sim = run_protocol(
+        4, _factory(), behaviors={2: MutateBehavior(mutate)}, seed=25
+    )
+    _assert_safe(sim, 3)
+    for i in sim.honest:
+        assert sim.parties[i].instance(()).views_entered <= 2
+
+
+def test_commit_value_mismatching_certificate_rejected():
+    """Commit carrying a valid-looking cert for a *different* value fails."""
+
+    def mutate(payload, recipient, rng):
+        if isinstance(payload, CommitMsg):
+            return dataclasses.replace(payload, value=("value-of", 99))
+        return payload
+
+    sim = run_protocol(
+        4, _factory(), behaviors={0: MutateBehavior(mutate)}, seed=26
+    )
+    _assert_safe(sim, 3)
+    for value in _outputs(sim).values():
+        assert value != ("value-of", 99)
+
+
+def test_invalid_value_never_decided_despite_byzantine_push():
+    """External validity: a corrupt party pushing an invalid value loses."""
+
+    def validate(value):
+        return isinstance(value, tuple) and value[0] == "value-of" and value[1] < 50
+
+    def mutate(payload, recipient, rng):
+        if isinstance(payload, Suggest):
+            return dataclasses.replace(
+                payload, key=certs.KeyTuple(0, ("value-of", 99), None)
+            )
+        return payload
+
+    sim = run_protocol(
+        4,
+        _factory(validate=validate),
+        behaviors={1: MutateBehavior(mutate)},
+        seed=27,
+    )
+    outputs = _outputs(sim)
+    assert len(outputs) == 3
+    for value in outputs.values():
+        assert validate(value)

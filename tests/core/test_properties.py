@@ -1,0 +1,141 @@
+"""Property-based tests: protocol invariants over random fault/schedule draws.
+
+Each hypothesis example runs a full simulation with a drawn seed, a drawn
+set of corrupted parties (≤ f) and a drawn scheduler, then checks the
+paper's invariants.  Example counts are modest (full protocol runs are
+not cheap) but every example is a genuinely different execution.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.gather import Gather
+from repro.core.proposal_election import ProposalElection
+from repro.core.nwh import NWH
+from repro.net.adversary import (
+    CrashBehavior,
+    DropBehavior,
+    RandomLagScheduler,
+    SilentBehavior,
+)
+
+from tests.core.helpers import run_protocol
+
+SLOW = settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+behavior_strategy = st.sampled_from(
+    [
+        None,
+        ("silent",),
+        ("crash", 5),
+        ("crash", 40),
+        ("drop", 0.4),
+    ]
+)
+
+
+def _behaviors(n, draw_tuple, corrupt_index):
+    if draw_tuple is None:
+        return None
+    kind = draw_tuple[0]
+    if kind == "silent":
+        return {corrupt_index: SilentBehavior()}
+    if kind == "crash":
+        return {corrupt_index: CrashBehavior(after_sends=draw_tuple[1])}
+    if kind == "drop":
+        return {corrupt_index: DropBehavior(rate=draw_tuple[1])}
+    raise AssertionError(kind)
+
+
+@SLOW
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    fault=behavior_strategy,
+    corrupt=st.integers(min_value=0, max_value=3),
+    lag=st.booleans(),
+)
+def test_gather_binding_core_invariant(seed, fault, corrupt, lag):
+    """Binding Core + Agreement: outputs share an (n-f)-sized core and
+    never conflict on common indices."""
+    n = 4
+    sim = run_protocol(
+        n,
+        lambda p: Gather(my_value=("in", p.index)),
+        seed=seed,
+        behaviors=_behaviors(n, fault, corrupt),
+        scheduler=RandomLagScheduler(factor=15, rate=0.3) if lag else None,
+    )
+    outputs = [sim.parties[i].result for i in sim.honest if sim.parties[i].has_result]
+    assert len(outputs) == len(sim.honest)  # Termination of Output
+    core = set(outputs[0])
+    for out in outputs[1:]:
+        core &= set(out)
+    assert len(core) >= n - 1  # |core| >= n - f
+    for a in outputs:
+        for b in outputs:
+            for k in set(a) & set(b):
+                assert a[k] == b[k]  # Agreement
+    for out in outputs:
+        for j, value in out.items():
+            if j in sim.honest:
+                assert value == ("in", j)  # Internal Validity
+
+
+@SLOW
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    fault=behavior_strategy,
+    corrupt=st.integers(min_value=0, max_value=3),
+)
+def test_pe_termination_and_validity_invariant(seed, fault, corrupt):
+    """PE: all honest output an externally valid proposal with a proof
+    that verifies at every honest party (Completeness)."""
+    n = 4
+    sim = run_protocol(
+        n,
+        lambda p: ProposalElection(
+            proposal=("prop", p.index),
+            validate=lambda v: isinstance(v, tuple) and v[0] == "prop",
+        ),
+        seed=seed,
+        behaviors=_behaviors(n, fault, corrupt),
+    )
+    outputs = {
+        i: sim.parties[i].result for i in sim.honest if sim.parties[i].has_result
+    }
+    assert len(outputs) == len(sim.honest)
+    for value, proof in outputs.values():
+        assert value[0] == "prop"
+        for j in sim.honest:
+            completion = sim.parties[j].instance(()).verify(value, proof)
+            sim.parties[j].sweep_conditions()
+            assert completion.done
+
+
+@SLOW
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    fault=behavior_strategy,
+    corrupt=st.integers(min_value=0, max_value=3),
+    lag=st.booleans(),
+)
+def test_nwh_agreement_invariant(seed, fault, corrupt, lag):
+    """NWH: agreement + validity + quality under every drawn execution."""
+    n = 4
+    sim = run_protocol(
+        n,
+        lambda p: NWH(my_value=("v", p.index)),
+        seed=seed,
+        behaviors=_behaviors(n, fault, corrupt),
+        scheduler=RandomLagScheduler(factor=12, rate=0.25) if lag else None,
+    )
+    outputs = {
+        i: sim.parties[i].result for i in sim.honest if sim.parties[i].has_result
+    }
+    assert len(outputs) == len(sim.honest)  # termination
+    assert len(set(outputs.values())) == 1  # agreement
+    value = next(iter(outputs.values()))
+    assert value[0] == "v" and 0 <= value[1] < n  # validity (an input)

@@ -1,0 +1,72 @@
+"""Agreement-on-Verification properties (Gather §3, PE §4).
+
+If one honest party's verification of an index-set / proposal terminates,
+every other honest party's verification of the same input terminates with
+the same output — even for inputs built by *other* parties.
+"""
+
+import itertools
+
+from repro.core.gather import Gather
+from repro.core.proposal_election import ProposalElection
+
+from tests.core.helpers import run_protocol
+
+
+def test_gather_agreement_on_verification():
+    sim = run_protocol(4, lambda p: Gather(my_value=("x", p.index)), seed=51)
+    # Try every quorum-sized index set; whenever any party verifies it,
+    # all parties must verify it with the same gather-set.
+    for subset in itertools.combinations(range(4), 3):
+        index_set = frozenset(subset)
+        outcomes = []
+        for i in range(4):
+            completion = sim.parties[i].instance(()).verify(index_set)
+            sim.parties[i].sweep_conditions()
+            outcomes.append(completion.value if completion.done else None)
+        done = [o for o in outcomes if o is not None]
+        if done:
+            assert all(o is not None for o in outcomes), subset
+            assert all(o == done[0] for o in done), subset
+
+
+def test_pe_agreement_on_verification():
+    sim = run_protocol(
+        4, lambda p: ProposalElection(proposal=("p", p.index)), seed=52
+    )
+    outputs = [
+        sim.parties[i].result for i in sim.honest if sim.parties[i].has_result
+    ]
+    assert len(outputs) == 4
+    # Check each party's (value, proof) against every verifier, including
+    # cross combinations of value and proof.
+    pairs = {(value, proof) for value, proof in outputs}
+    for value, proof in pairs:
+        states = []
+        for i in range(4):
+            completion = sim.parties[i].instance(()).verify(value, proof)
+            sim.parties[i].sweep_conditions()
+            states.append(completion.done)
+        assert all(states) or not any(states), (value, proof, states)
+        assert all(states)  # own outputs must verify (Completeness)
+
+
+def test_pe_cross_proof_verification_consistency():
+    """A value paired with another party's proof verifies iff it is the
+    proposal that proof elects — and consistently so at every verifier."""
+    sim = run_protocol(
+        4, lambda p: ProposalElection(proposal=("p", p.index)), seed=53
+    )
+    outputs = [
+        sim.parties[i].result for i in sim.honest if sim.parties[i].has_result
+    ]
+    values = {value for value, _ in outputs}
+    proofs = {proof for _, proof in outputs}
+    for value in values:
+        for proof in proofs:
+            states = []
+            for i in range(4):
+                completion = sim.parties[i].instance(()).verify(value, proof)
+                sim.parties[i].sweep_conditions()
+                states.append(completion.done)
+            assert all(states) or not any(states), (value, proof, states)

@@ -1,0 +1,103 @@
+"""Canonical encoding: determinism, injectivity, type coverage."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.encoding import encode
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(10**40), max_value=10**40),
+    st.binary(max_size=64),
+    st.text(max_size=64),
+)
+values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5).map(tuple),
+        st.lists(children, max_size=5),
+    ),
+    max_leaves=20,
+)
+
+
+@given(values)
+def test_encoding_is_deterministic(value):
+    assert encode(value) == encode(value)
+
+
+@given(values, values)
+def test_encoding_is_injective_on_samples(a, b):
+    normalize = _normalize
+    if normalize(a) != normalize(b):
+        assert encode(a) != encode(b)
+
+
+def _normalize(value):
+    """Tuples and lists intentionally encode identically."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_normalize(item) for item in value)
+    if isinstance(value, bool):
+        return ("bool", value)
+    return value
+
+
+def test_distinguishes_confusable_scalars():
+    pairs = [
+        (0, False),
+        (1, True),
+        (b"", ""),
+        (b"1", 1),
+        ("1", 1),
+        (None, 0),
+        ((), None),
+        ((1, 2), (12,)),
+        ((1, (2,)), ((1, 2),)),
+        (-5, 5),
+    ]
+    for a, b in pairs:
+        assert encode(a) != encode(b), (a, b)
+
+
+def test_sets_encode_order_independently():
+    assert encode({1, 2, 3}) == encode({3, 1, 2})
+    assert encode(frozenset({1, 2})) == encode({2, 1})
+
+
+def test_dataclass_encoding_uses_fields():
+    @dataclasses.dataclass(frozen=True)
+    class Point:
+        x: int
+        y: int
+
+    assert encode(Point(1, 2)) == encode(Point(1, 2))
+    assert encode(Point(1, 2)) != encode(Point(2, 1))
+
+
+def test_dataclass_no_encode_metadata_skips_field():
+    @dataclasses.dataclass(frozen=True)
+    class Carrier:
+        payload: int
+        runtime: object = dataclasses.field(
+            default=None, metadata={"no_encode": True}
+        )
+
+    assert encode(Carrier(7, runtime=object())) == encode(Carrier(7, runtime=object()))
+
+
+def test_custom_canonical_hook():
+    class Custom:
+        def canonical(self):
+            return b"custom-bytes"
+
+    assert encode(Custom()) == encode(Custom())
+
+
+def test_rejects_unsupported_types():
+    with pytest.raises(TypeError):
+        encode(object())
+    with pytest.raises(TypeError):
+        encode(3.14)

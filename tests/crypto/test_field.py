@@ -1,0 +1,68 @@
+"""Field axioms, checked by hypothesis over the TESTING modulus."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.field import PrimeField
+from repro.crypto.params import get_params
+
+FIELD = PrimeField(get_params("TESTING").q)
+elements = st.integers(min_value=0, max_value=FIELD.q - 1)
+
+
+@given(elements, elements, elements)
+def test_ring_axioms(a, b, c):
+    f = FIELD
+    assert f.add(a, b) == f.add(b, a)
+    assert f.mul(a, b) == f.mul(b, a)
+    assert f.add(f.add(a, b), c) == f.add(a, f.add(b, c))
+    assert f.mul(f.mul(a, b), c) == f.mul(a, f.mul(b, c))
+    assert f.mul(a, f.add(b, c)) == f.add(f.mul(a, b), f.mul(a, c))
+
+
+@given(elements)
+def test_additive_inverse(a):
+    assert FIELD.add(a, FIELD.neg(a)) == 0
+
+
+@given(elements.filter(lambda x: x != 0))
+def test_multiplicative_inverse(a):
+    assert FIELD.mul(a, FIELD.inv(a)) == 1
+
+
+@given(elements, elements.filter(lambda x: x != 0))
+def test_division_roundtrip(a, b):
+    assert FIELD.mul(FIELD.div(a, b), b) == a
+
+
+def test_inverse_of_zero_raises():
+    with pytest.raises(ZeroDivisionError):
+        FIELD.inv(0)
+
+
+def test_sum_and_prod_reduce():
+    assert FIELD.sum([FIELD.q - 1, 1]) == 0
+    assert FIELD.prod([2, FIELD.q - 1]) == FIELD.mul(2, FIELD.q - 1)
+
+
+def test_rand_respects_range():
+    rng = random.Random(7)
+    for _ in range(100):
+        assert 0 <= FIELD.rand(rng) < FIELD.q
+        assert 1 <= FIELD.rand_nonzero(rng) < FIELD.q
+
+
+def test_contains():
+    assert FIELD.contains(0)
+    assert FIELD.contains(FIELD.q - 1)
+    assert not FIELD.contains(FIELD.q)
+    assert not FIELD.contains(-1)
+    assert not FIELD.contains("1")
+
+
+def test_equality_and_hash():
+    assert FIELD == PrimeField(FIELD.q)
+    assert hash(FIELD) == hash(PrimeField(FIELD.q))
+    assert FIELD != PrimeField(7)

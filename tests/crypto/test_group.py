@@ -1,0 +1,64 @@
+"""Schnorr group: subgroup membership, operations, hash-to-group."""
+
+import random
+
+from hypothesis import given, strategies as st
+
+from repro.crypto.group import SchnorrGroup
+from repro.crypto.params import get_params
+
+GROUP = SchnorrGroup(get_params("TESTING"))
+scalars = st.integers(min_value=0, max_value=GROUP.q - 1)
+
+
+def test_generator_has_order_q():
+    assert GROUP.exp(GROUP.g, GROUP.q) == 1
+    assert GROUP.exp(GROUP.g, 1) == GROUP.g
+    assert GROUP.is_element(GROUP.g)
+
+
+@given(scalars, scalars)
+def test_exponent_arithmetic(a, b):
+    lhs = GROUP.mul(GROUP.exp(GROUP.g, a), GROUP.exp(GROUP.g, b))
+    rhs = GROUP.exp(GROUP.g, (a + b) % GROUP.q)
+    assert lhs == rhs
+
+
+@given(scalars)
+def test_inverse(a):
+    element = GROUP.exp(GROUP.g, a)
+    assert GROUP.mul(element, GROUP.inv(element)) == 1
+
+
+@given(scalars)
+def test_exponent_reduced_mod_q(a):
+    assert GROUP.exp(GROUP.g, a) == GROUP.exp(GROUP.g, a + GROUP.q)
+
+
+def test_membership_rejects_non_residues_and_junk():
+    assert not GROUP.is_element(0)
+    assert not GROUP.is_element(GROUP.p)
+    assert not GROUP.is_element("x")
+    # Count residues among small candidates: exactly the squares pass.
+    hits = [x for x in range(1, 50) if GROUP.is_element(x)]
+    for x in hits:
+        assert pow(x, GROUP.q, GROUP.p) == 1
+
+
+def test_hash_to_group_lands_in_subgroup_and_is_deterministic():
+    a = GROUP.hash_to_group("test", 1, "abc")
+    b = GROUP.hash_to_group("test", 1, "abc")
+    c = GROUP.hash_to_group("test", 2, "abc")
+    assert a == b
+    assert a != c
+    assert GROUP.is_element(a)
+
+
+def test_rand_scalar_range():
+    rng = random.Random(0)
+    for _ in range(50):
+        assert 0 <= GROUP.rand_scalar(rng) < GROUP.q
+
+
+def test_encode_element_distinguishes():
+    assert GROUP.encode_element(4) != GROUP.encode_element(9)

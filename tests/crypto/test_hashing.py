@@ -1,0 +1,40 @@
+"""Hash helpers: domain separation, ranges, expansion."""
+
+import pytest
+
+from repro.crypto.hashing import expand, hash_bytes, hash_to_int
+
+
+def test_domain_separation():
+    assert hash_bytes("a", 1) != hash_bytes("b", 1)
+    assert hash_to_int("a", 97, 1) != hash_to_int("b", 97, 1) or hash_to_int(
+        "a", 1 << 64, 1
+    ) != hash_to_int("b", 1 << 64, 1)
+
+
+def test_hash_to_int_range():
+    for modulus in (2, 97, 1 << 128):
+        for arg in range(10):
+            value = hash_to_int("t", modulus, arg)
+            assert 0 <= value < modulus
+
+
+def test_hash_to_int_rejects_tiny_modulus():
+    with pytest.raises(ValueError):
+        hash_to_int("t", 1)
+
+
+def test_expand_lengths():
+    for length in (0, 1, 31, 32, 33, 100):
+        assert len(expand("t", length, "seed")) == length
+
+
+def test_expand_prefix_consistency():
+    long = expand("t", 64, "seed")
+    short = expand("t", 32, "seed")
+    assert long[:32] == short
+
+
+def test_structural_inputs_matter():
+    assert hash_bytes("t", ("a", "b")) != hash_bytes("t", ("ab",))
+    assert hash_bytes("t", 1, 2) != hash_bytes("t", (1, 2))

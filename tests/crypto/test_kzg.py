@@ -1,0 +1,118 @@
+"""KZG polynomial commitments and the vector-commitment backends."""
+
+import pytest
+
+from repro.crypto.kzg import KZGOpening, KZGSetup
+from repro.crypto.pairing import BilinearGroup
+from repro.crypto.params import get_params
+from repro.crypto.vector_commitment import KZGScheme, MerkleScheme, make_scheme
+
+GROUP = BilinearGroup(get_params("TESTING").q)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return KZGSetup.from_seed(GROUP, 12, "test")
+
+
+def test_commit_open_verify(setup):
+    values = [5, 17, 23, 42, 0, 7]
+    commitment = setup.commit(values)
+    for i, v in enumerate(values):
+        opening = setup.open_at(values, i)
+        assert setup.verify(commitment, i, v, opening)
+
+
+def test_wrong_value_rejected(setup):
+    values = [5, 17, 23]
+    commitment = setup.commit(values)
+    opening = setup.open_at(values, 1)
+    assert not setup.verify(commitment, 1, 18, opening)
+    assert not setup.verify(commitment, 0, 17, opening)
+    assert not setup.verify(commitment, 2, 17, opening)
+
+
+def test_wrong_witness_rejected(setup):
+    values = [5, 17, 23]
+    commitment = setup.commit(values)
+    forged = KZGOpening(witness=GROUP.exp(GROUP.g, 99))
+    assert not setup.verify(commitment, 1, 17, forged)
+    assert not setup.verify(commitment, 1, 17, "junk")
+
+
+def test_binding_different_vectors_different_commitments(setup):
+    assert setup.commit([1, 2, 3]) != setup.commit([1, 2, 4])
+    assert setup.commit([1, 2, 3]) == setup.commit([1, 2, 3])
+
+
+def test_single_value_vector(setup):
+    commitment = setup.commit([9])
+    opening = setup.open_at([9], 0)
+    assert setup.verify(commitment, 0, 9, opening)
+
+
+def test_capacity_enforced():
+    small = KZGSetup.from_seed(GROUP, 2, "tiny")
+    with pytest.raises(ValueError):
+        small.commit([1, 2, 3])
+    with pytest.raises(ValueError):
+        small.commit([])
+    with pytest.raises(ValueError):
+        KZGSetup(GROUP, 0, 5)
+    with pytest.raises(IndexError):
+        small.open_at([1, 2], 5)
+
+
+def test_opening_is_one_word(setup):
+    opening = setup.open_at([1, 2, 3], 0)
+    assert opening.word_size() == 1
+
+
+# -- vector-commitment backends -------------------------------------------------------
+
+
+@pytest.mark.parametrize("scheme_name", ["merkle", "kzg"])
+def test_vc_backends_roundtrip(scheme_name):
+    from repro.crypto.keys import TrustedSetup
+
+    directory = TrustedSetup.generate(7, seed=1).directory
+    scheme = make_scheme(scheme_name, directory)
+    leaves = [bytes([i]) * 5 for i in range(7)]
+    commitment, proofs = scheme.commit(leaves)
+    assert scheme.is_commitment(commitment)
+    assert scheme.commitment_only(leaves) == commitment
+    for i, leaf in enumerate(leaves):
+        assert scheme.verify(commitment, leaf, i, proofs[i], len(leaves))
+        assert not scheme.verify(commitment, b"forged", i, proofs[i], len(leaves))
+
+
+def test_kzg_vc_proofs_are_constant_size():
+    from repro.crypto.keys import TrustedSetup
+
+    directory = TrustedSetup.generate(13, seed=1).directory
+    kzg = make_scheme("kzg", directory)
+    merkle = make_scheme("merkle", directory)
+    leaves = [bytes([i]) for i in range(13)]
+    _, kzg_proofs = kzg.commit(leaves)
+    _, merkle_proofs = merkle.commit(leaves)
+    assert all(proof.word_size() == 1 for proof in kzg_proofs)
+    assert all(proof.word_size() == 4 for proof in merkle_proofs)  # ceil(log2 13)
+
+
+def test_vc_wrong_index_rejected():
+    from repro.crypto.keys import TrustedSetup
+
+    directory = TrustedSetup.generate(4, seed=1).directory
+    for name in ("merkle", "kzg"):
+        scheme = make_scheme(name, directory)
+        leaves = [b"a", b"b", b"c", b"d"]
+        commitment, proofs = scheme.commit(leaves)
+        assert not scheme.verify(commitment, b"a", 1, proofs[0], 4)
+
+
+def test_unknown_scheme_rejected():
+    from repro.crypto.keys import TrustedSetup
+
+    directory = TrustedSetup.generate(4, seed=1).directory
+    with pytest.raises(ValueError):
+        make_scheme("nope", directory)

@@ -1,0 +1,82 @@
+"""Merkle vector commitments: openings verify; forgeries do not."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.merkle import MerkleProof, MerkleTree, verify_opening
+
+leaf_lists = st.lists(st.binary(max_size=16), min_size=1, max_size=33)
+
+
+@settings(max_examples=40)
+@given(leaf_lists)
+def test_every_opening_verifies(leaves):
+    tree = MerkleTree(leaves)
+    for index, leaf in enumerate(leaves):
+        proof = tree.prove(index)
+        assert verify_opening(tree.root, leaf, proof, len(leaves))
+
+
+@settings(max_examples=40)
+@given(leaf_lists)
+def test_wrong_leaf_rejected(leaves):
+    tree = MerkleTree(leaves)
+    for index in range(len(leaves)):
+        proof = tree.prove(index)
+        assert not verify_opening(tree.root, b"forged" + bytes([index]), proof, len(leaves))
+
+
+def test_wrong_index_rejected():
+    leaves = [bytes([i]) for i in range(8)]
+    tree = MerkleTree(leaves)
+    proof = tree.prove(3)
+    moved = MerkleProof(index=4, siblings=proof.siblings)
+    assert not verify_opening(tree.root, leaves[3], moved, len(leaves))
+    assert not verify_opening(tree.root, leaves[3], MerkleProof(99, proof.siblings), len(leaves))
+
+
+def test_truncated_proof_rejected():
+    leaves = [bytes([i]) for i in range(9)]
+    tree = MerkleTree(leaves)
+    proof = tree.prove(2)
+    short = MerkleProof(index=2, siblings=proof.siblings[:-1])
+    assert not verify_opening(tree.root, leaves[2], short, len(leaves))
+
+
+def test_leaf_node_domain_separation():
+    """A leaf equal to an inner-node encoding must not verify elsewhere."""
+    a = MerkleTree([b"x", b"y"])
+    b = MerkleTree([b"x", b"y", b"x", b"y"])
+    assert a.root != b.root
+
+
+def test_proof_length_is_logarithmic():
+    for count in (1, 2, 3, 5, 8, 16, 33):
+        tree = MerkleTree([bytes([i]) for i in range(count)])
+        expected = math.ceil(math.log2(count)) if count > 1 else 0
+        assert len(tree.prove(0).siblings) == expected
+
+
+def test_single_leaf_tree():
+    tree = MerkleTree([b"only"])
+    proof = tree.prove(0)
+    assert verify_opening(tree.root, b"only", proof, 1)
+    assert not verify_opening(tree.root, b"other", proof, 1)
+
+
+def test_empty_tree_rejected():
+    with pytest.raises(ValueError):
+        MerkleTree([])
+
+
+def test_out_of_range_proof_request():
+    tree = MerkleTree([b"a", b"b"])
+    with pytest.raises(IndexError):
+        tree.prove(2)
+
+
+def test_junk_proof_rejected():
+    tree = MerkleTree([b"a", b"b"])
+    assert not verify_opening(tree.root, b"a", "junk", 2)

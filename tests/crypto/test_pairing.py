@@ -1,0 +1,78 @@
+"""The simulated bilinear group: group laws and bilinearity."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.pairing import KIND_G, KIND_GT, BilinearGroup, GroupElement
+from repro.crypto.params import get_params
+
+GROUP = BilinearGroup(get_params("TESTING").q)
+scalars = st.integers(min_value=0, max_value=GROUP.order - 1)
+
+
+@given(scalars, scalars)
+def test_bilinearity(a, b):
+    ga = GROUP.exp(GROUP.g, a)
+    gb = GROUP.exp(GROUP.g, b)
+    assert GROUP.pair(ga, gb) == GROUP.exp(GROUP.gt, a * b % GROUP.order)
+    assert GROUP.pair(ga, GROUP.g) == GROUP.exp(GROUP.gt, a)
+
+
+@given(scalars, scalars, scalars)
+def test_pairing_is_bilinear_in_both_slots(a, b, c):
+    ga, gb, gc = (GROUP.exp(GROUP.g, x) for x in (a, b, c))
+    lhs = GROUP.pair(GROUP.mul(ga, gb), gc)
+    rhs = GROUP.mul(GROUP.pair(ga, gc), GROUP.pair(gb, gc))
+    assert lhs == rhs
+
+
+@given(scalars)
+def test_inverse_and_identity(a):
+    element = GROUP.exp(GROUP.g, a)
+    assert GROUP.mul(element, GROUP.inv(element)) == GROUP.identity(KIND_G)
+    assert GROUP.mul(element, GROUP.identity(KIND_G)) == element
+
+
+def test_kind_discipline():
+    with pytest.raises(ValueError):
+        GROUP.mul(GROUP.g, GROUP.gt)
+    with pytest.raises(ValueError):
+        GROUP.pair(GROUP.g, GROUP.gt)
+    with pytest.raises(TypeError):
+        GROUP.exp("junk", 2)
+    with pytest.raises(ValueError):
+        GROUP.exp(GroupElement(KIND_G, GROUP.order), 2)
+
+
+def test_prod():
+    elements = [GROUP.exp(GROUP.g, k) for k in (1, 2, 3)]
+    assert GROUP.prod(elements) == GROUP.exp(GROUP.g, 6)
+    with pytest.raises(ValueError):
+        GROUP.prod([])
+
+
+def test_hash_to_group_deterministic_nonidentity():
+    a = GROUP.hash_to_group("d", 1)
+    assert a == GROUP.hash_to_group("d", 1)
+    assert a != GROUP.hash_to_group("d", 2)
+    assert a.log != 0
+    assert GROUP.is_element(a)
+
+
+def test_is_element():
+    assert GROUP.is_element(GROUP.g)
+    assert GROUP.is_element(GROUP.gt, kind=KIND_GT)
+    assert not GROUP.is_element(GROUP.gt)
+    assert not GROUP.is_element(42)
+
+
+def test_rand_scalar():
+    rng = random.Random(0)
+    for _ in range(20):
+        assert 0 <= GROUP.rand_scalar(rng) < GROUP.order
+
+
+def test_encode_distinguishes_kinds():
+    assert GROUP.encode_element(GROUP.g) != GROUP.encode_element(GROUP.gt)

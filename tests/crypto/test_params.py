@@ -1,0 +1,51 @@
+"""Parameter presets: primality and subgroup structure."""
+
+import random
+
+import pytest
+
+from repro.crypto.params import PRESETS, get_params
+
+
+def _is_probable_prime(n: int, rounds: int = 40) -> bool:
+    if n < 2:
+        return False
+    for small in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        if n % small == 0:
+            return n == small
+    d, r = n - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    rng = random.Random(0xC0FFEE)
+    for _ in range(rounds):
+        a = rng.randrange(2, n - 1)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+@pytest.mark.parametrize("name", sorted(PRESETS))
+def test_preset_is_safe_prime_group(name):
+    params = get_params(name)
+    assert params.p == 2 * params.q + 1
+    assert _is_probable_prime(params.p)
+    assert _is_probable_prime(params.q)
+    assert pow(params.g, params.q, params.p) == 1
+    assert params.g != 1
+
+
+def test_lookup_is_case_insensitive():
+    assert get_params("testing") is PRESETS["TESTING"]
+
+
+def test_unknown_preset_raises():
+    with pytest.raises(KeyError):
+        get_params("NOPE")

@@ -1,0 +1,120 @@
+"""Schoenmakers scalar PVSS over the real Schnorr group."""
+
+import random
+
+import pytest
+
+from repro.crypto import scalar_pvss as spvss
+from repro.crypto.group import SchnorrGroup
+from repro.crypto.params import get_params
+
+N, F = 7, 2
+GROUP = SchnorrGroup(get_params("TESTING"))
+
+
+@pytest.fixture(scope="module")
+def keys():
+    rng = random.Random(61)
+    sks = [GROUP.rand_scalar(rng) or 1 for _ in range(N)]
+    pks = [GROUP.exp(GROUP.g, sk) for sk in sks]
+    return sks, pks
+
+
+@pytest.fixture(scope="module")
+def dealing(keys):
+    _sks, pks = keys
+    return spvss.deal(GROUP, 0, pks, F, random.Random(62), secret=777)
+
+
+def test_honest_dealing_verifies(keys, dealing):
+    _sks, pks = keys
+    assert spvss.verify_dealing(GROUP, dealing, pks, F)
+
+
+def test_dealing_shapes(dealing):
+    assert len(dealing.commitments) == F + 1
+    assert len(dealing.encrypted_shares) == N
+    assert len(dealing.proofs) == N
+    assert dealing.word_size() == (F + 1) + N + N
+
+
+def test_tampered_commitment_rejected(keys, dealing):
+    import dataclasses
+
+    _sks, pks = keys
+    bad = list(dealing.commitments)
+    bad[1] = GROUP.mul(bad[1], GROUP.exp(GROUP.g, 2))
+    tampered = dataclasses.replace(dealing, commitments=tuple(bad))
+    assert not spvss.verify_dealing(GROUP, tampered, pks, F)
+
+
+def test_tampered_encryption_rejected(keys, dealing):
+    import dataclasses
+
+    _sks, pks = keys
+    bad = list(dealing.encrypted_shares)
+    bad[3] = GROUP.mul(bad[3], GROUP.g)
+    tampered = dataclasses.replace(dealing, encrypted_shares=tuple(bad))
+    assert not spvss.verify_dealing(GROUP, tampered, pks, F)
+
+
+def test_wrong_threshold_rejected(keys, dealing):
+    _sks, pks = keys
+    assert not spvss.verify_dealing(GROUP, dealing, pks, F + 1)
+    assert not spvss.verify_dealing(GROUP, "junk", pks, F)
+
+
+def test_decrypt_verify_combine(keys, dealing):
+    sks, pks = keys
+    rng = random.Random(63)
+    shares = []
+    for j in (0, 2, 5):
+        share = spvss.decrypt_share(GROUP, dealing, j, sks[j], rng)
+        assert spvss.verify_decrypted_share(GROUP, dealing, share, pks[j])
+        shares.append(share)
+    recovered = spvss.combine_shares(GROUP, shares, F)
+    assert recovered == GROUP.exp(GROUP.g, 777)
+
+
+def test_every_f_plus_1_subset_recovers(keys, dealing):
+    import itertools
+
+    sks, pks = keys
+    rng = random.Random(64)
+    all_shares = [
+        spvss.decrypt_share(GROUP, dealing, j, sks[j], rng) for j in range(N)
+    ]
+    expected = GROUP.exp(GROUP.g, 777)
+    for subset in itertools.islice(itertools.combinations(all_shares, F + 1), 8):
+        assert spvss.combine_shares(GROUP, list(subset), F) == expected
+
+
+def test_forged_decryption_rejected(keys, dealing):
+    sks, pks = keys
+    rng = random.Random(65)
+    share = spvss.decrypt_share(GROUP, dealing, 1, sks[1], rng)
+    import dataclasses
+
+    forged = dataclasses.replace(share, value=GROUP.mul(share.value, GROUP.g))
+    assert not spvss.verify_decrypted_share(GROUP, dealing, forged, pks[1])
+    assert not spvss.verify_decrypted_share(GROUP, dealing, "junk", pks[1])
+
+
+def test_too_few_or_duplicate_shares(keys, dealing):
+    sks, _pks = keys
+    rng = random.Random(66)
+    share = spvss.decrypt_share(GROUP, dealing, 0, sks[0], rng)
+    with pytest.raises(ValueError):
+        spvss.combine_shares(GROUP, [share] * (F + 1), F)
+
+
+def test_fresh_secret_when_not_given(keys):
+    _sks, pks = keys
+    a = spvss.deal(GROUP, 0, pks, F, random.Random(1))
+    b = spvss.deal(GROUP, 0, pks, F, random.Random(2))
+    assert a.commitments[0] != b.commitments[0]
+
+
+def test_dealing_needs_enough_parties():
+    with pytest.raises(ValueError):
+        spvss.deal(GROUP, 0, [GROUP.g], 1, random.Random(0))

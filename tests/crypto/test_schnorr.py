@@ -1,0 +1,68 @@
+"""Schnorr signatures: correctness and rejection paths."""
+
+import random
+
+from repro.crypto import schnorr
+from repro.crypto.group import SchnorrGroup
+from repro.crypto.params import get_params
+
+GROUP = SchnorrGroup(get_params("TESTING"))
+
+
+def _key(seed=1):
+    return schnorr.keygen(GROUP, random.Random(seed))
+
+
+def test_sign_verify_roundtrip():
+    key = _key()
+    sig = schnorr.sign(GROUP, key, "hello", 42)
+    assert schnorr.verify(GROUP, key.pk, sig, "hello", 42)
+
+
+def test_verify_rejects_wrong_message():
+    key = _key()
+    sig = schnorr.sign(GROUP, key, "hello", 42)
+    assert not schnorr.verify(GROUP, key.pk, sig, "hello", 43)
+    assert not schnorr.verify(GROUP, key.pk, sig, "hellx", 42)
+    assert not schnorr.verify(GROUP, key.pk, sig)
+
+
+def test_verify_rejects_wrong_key():
+    key, other = _key(1), _key(2)
+    sig = schnorr.sign(GROUP, key, "msg")
+    assert not schnorr.verify(GROUP, other.pk, sig, "msg")
+
+
+def test_verify_rejects_mangled_signature():
+    key = _key()
+    sig = schnorr.sign(GROUP, key, "msg")
+    bad_c = schnorr.Signature(c=(sig.c + 1) % GROUP.q, s=sig.s)
+    bad_s = schnorr.Signature(c=sig.c, s=(sig.s + 1) % GROUP.q)
+    assert not schnorr.verify(GROUP, key.pk, bad_c, "msg")
+    assert not schnorr.verify(GROUP, key.pk, bad_s, "msg")
+
+
+def test_verify_rejects_out_of_range_and_junk():
+    key = _key()
+    sig = schnorr.sign(GROUP, key, "msg")
+    assert not schnorr.verify(GROUP, key.pk, "not-a-signature", "msg")
+    assert not schnorr.verify(
+        GROUP, key.pk, schnorr.Signature(c=GROUP.q, s=sig.s), "msg"
+    )
+    assert not schnorr.verify(GROUP, 0, sig, "msg")
+
+
+def test_signatures_are_deterministic():
+    key = _key()
+    assert schnorr.sign(GROUP, key, "m") == schnorr.sign(GROUP, key, "m")
+
+
+def test_message_encoding_is_structural_not_concatenated():
+    key = _key()
+    sig = schnorr.sign(GROUP, key, "ab", "c")
+    assert not schnorr.verify(GROUP, key.pk, sig, "a", "bc")
+
+
+def test_word_size():
+    key = _key()
+    assert schnorr.sign(GROUP, key, "m").word_size() == 1

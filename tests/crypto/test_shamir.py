@@ -1,0 +1,68 @@
+"""Shamir sharing: reconstruction, thresholds, failure modes."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.field import PrimeField
+from repro.crypto.params import get_params
+from repro.crypto.shamir import reconstruct_secret, share_secret
+
+FIELD = PrimeField(get_params("TESTING").q)
+
+
+@settings(max_examples=25)
+@given(
+    st.integers(min_value=0, max_value=FIELD.q - 1),
+    st.integers(min_value=0, max_value=3),
+    st.integers(),
+)
+def test_any_threshold_plus_one_subset_reconstructs(secret, threshold, seed):
+    rng = random.Random(seed)
+    n = 3 * threshold + 1 if threshold else 4
+    shares = share_secret(FIELD, secret, threshold, n, rng)
+    for subset in itertools.islice(
+        itertools.combinations(shares, threshold + 1), 6
+    ):
+        assert reconstruct_secret(FIELD, list(subset)) == secret
+
+
+def test_threshold_many_shares_reveal_nothing_statistically():
+    """With degree-f sharing, f shares are consistent with *every* secret."""
+    rng = random.Random(5)
+    threshold, n = 2, 7
+    shares = share_secret(FIELD, 1234, threshold, n, rng)
+    partial = list(shares[:threshold])
+    # Completing the partial view with one crafted share can hit any secret.
+    from repro.crypto.polynomial import interpolate_at
+
+    for fake_secret in (0, 1, 999):
+        points = [(s.x, s.y) for s in partial] + [(0, fake_secret)]
+        forged_y = interpolate_at(FIELD, points, at=threshold + 10)
+        completed = partial + [
+            type(shares[0])(x=threshold + 10, y=forged_y)
+        ]
+        assert reconstruct_secret(FIELD, completed) == fake_secret
+
+
+def test_share_count_validation():
+    rng = random.Random(0)
+    with pytest.raises(ValueError):
+        share_secret(FIELD, 1, 3, 3, rng)
+    with pytest.raises(ValueError):
+        share_secret(FIELD, 1, -1, 4, rng)
+
+
+def test_reconstruct_empty_raises():
+    with pytest.raises(ValueError):
+        reconstruct_secret(FIELD, [])
+
+
+def test_shares_use_distinct_nonzero_points():
+    rng = random.Random(2)
+    shares = share_secret(FIELD, 7, 2, 9, rng)
+    xs = [share.x for share in shares]
+    assert len(set(xs)) == len(xs)
+    assert 0 not in xs

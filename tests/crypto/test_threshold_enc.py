@@ -1,0 +1,118 @@
+"""Threshold encryption over a DKG transcript."""
+
+import random
+
+import pytest
+
+from repro.crypto import pvss, threshold_enc as tenc
+from repro.crypto.keys import TrustedSetup
+
+N, F = 7, 2
+PLAINTEXT = b"the committee's secret ballot result"
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return TrustedSetup.generate(N, F, seed=31)
+
+
+@pytest.fixture(scope="module")
+def transcript(setup):
+    rng = random.Random(8)
+    contributions = [
+        pvss.deal(setup.directory, setup.secret(i), rng) for i in range(2 * F + 1)
+    ]
+    return pvss.aggregate(setup.directory, contributions)
+
+
+@pytest.fixture(scope="module")
+def ciphertext(setup, transcript):
+    return tenc.encrypt(setup.directory, transcript, PLAINTEXT, random.Random(9))
+
+
+def test_roundtrip_with_f_plus_1_shares(setup, transcript, ciphertext):
+    shares = [
+        tenc.decryption_share(setup.directory, setup.secret(i), transcript, ciphertext)
+        for i in range(F + 1)
+    ]
+    assert tenc.combine(setup.directory, transcript, ciphertext, shares) == PLAINTEXT
+
+
+def test_any_subset_of_shares_works(setup, transcript, ciphertext):
+    import itertools
+
+    shares = [
+        tenc.decryption_share(setup.directory, setup.secret(i), transcript, ciphertext)
+        for i in range(N)
+    ]
+    for subset in itertools.islice(itertools.combinations(shares, F + 1), 6):
+        assert (
+            tenc.combine(setup.directory, transcript, ciphertext, list(subset))
+            == PLAINTEXT
+        )
+
+
+def test_share_verification(setup, transcript, ciphertext):
+    share = tenc.decryption_share(
+        setup.directory, setup.secret(2), transcript, ciphertext
+    )
+    assert tenc.share_valid(setup.directory, transcript, ciphertext, share)
+    group = setup.directory.pair_group
+    forged = tenc.DecryptionShare(party=2, value=group.mul(share.value, group.gt))
+    assert not tenc.share_valid(setup.directory, transcript, ciphertext, forged)
+    assert not tenc.share_valid(setup.directory, transcript, ciphertext, "junk")
+    assert not tenc.share_valid(
+        setup.directory,
+        transcript,
+        ciphertext,
+        tenc.DecryptionShare(party=99, value=share.value),
+    )
+
+
+def test_too_few_shares_rejected(setup, transcript, ciphertext):
+    shares = [
+        tenc.decryption_share(setup.directory, setup.secret(i), transcript, ciphertext)
+        for i in range(F)
+    ]
+    with pytest.raises(ValueError):
+        tenc.combine(setup.directory, transcript, ciphertext, shares)
+    # Duplicates do not help.
+    with pytest.raises(ValueError):
+        tenc.combine(
+            setup.directory, transcript, ciphertext, shares + [shares[0]]
+        )
+
+
+def test_f_shares_plus_wrong_share_fail_to_decrypt(setup, transcript, ciphertext):
+    """Operational secrecy: f honest shares + garbage give garbage."""
+    group = setup.directory.pair_group
+    shares = [
+        tenc.decryption_share(setup.directory, setup.secret(i), transcript, ciphertext)
+        for i in range(F)
+    ]
+    forged = tenc.DecryptionShare(party=F, value=group.exp(group.gt, 12345))
+    result = tenc.combine(
+        setup.directory, transcript, ciphertext, shares + [forged]
+    )
+    assert result != PLAINTEXT
+
+
+def test_ciphertext_is_not_plaintext(setup, transcript, ciphertext):
+    assert ciphertext.body != PLAINTEXT
+    assert len(ciphertext.body) == len(PLAINTEXT)
+
+
+def test_distinct_randomness_distinct_ciphertexts(setup, transcript):
+    a = tenc.encrypt(setup.directory, transcript, PLAINTEXT, random.Random(1))
+    b = tenc.encrypt(setup.directory, transcript, PLAINTEXT, random.Random(2))
+    assert a.c1 != b.c1
+    assert a.body != b.body
+
+
+def test_empty_plaintext(setup, transcript):
+    ct = tenc.encrypt(setup.directory, transcript, b"", random.Random(3))
+    shares = [
+        tenc.decryption_share(setup.directory, setup.secret(i), transcript, ct)
+        for i in range(F + 1)
+    ]
+    assert tenc.combine(setup.directory, transcript, ct, shares) == b""

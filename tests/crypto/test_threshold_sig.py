@@ -1,0 +1,103 @@
+"""Threshold signatures from a DKG transcript."""
+
+import random
+
+import pytest
+
+from repro.crypto import pvss, threshold_sig as tsig
+from repro.crypto.keys import TrustedSetup
+
+N, F = 7, 2
+MESSAGE = ("block", 42)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return TrustedSetup.generate(N, F, seed=41)
+
+
+@pytest.fixture(scope="module")
+def transcript(setup):
+    rng = random.Random(4)
+    contributions = [
+        pvss.deal(setup.directory, setup.secret(i), rng) for i in range(2 * F + 1)
+    ]
+    return pvss.aggregate(setup.directory, contributions)
+
+
+def test_sign_combine_verify(setup, transcript):
+    shares = [
+        tsig.sign_share(setup.directory, setup.secret(i), transcript, MESSAGE)
+        for i in range(F + 1)
+    ]
+    for share in shares:
+        assert tsig.share_valid(setup.directory, transcript, MESSAGE, share)
+    signature = tsig.combine(setup.directory, transcript, MESSAGE, shares)
+    assert tsig.verify(setup.directory, transcript, MESSAGE, signature)
+
+
+def test_uniqueness_any_subset_same_signature(setup, transcript):
+    import itertools
+
+    all_shares = [
+        tsig.sign_share(setup.directory, setup.secret(i), transcript, MESSAGE)
+        for i in range(N)
+    ]
+    signatures = {
+        tsig.combine(setup.directory, transcript, MESSAGE, list(subset)).value
+        for subset in itertools.islice(itertools.combinations(all_shares, F + 1), 8)
+    }
+    assert len(signatures) == 1
+
+
+def test_wrong_message_fails(setup, transcript):
+    shares = [
+        tsig.sign_share(setup.directory, setup.secret(i), transcript, MESSAGE)
+        for i in range(F + 1)
+    ]
+    signature = tsig.combine(setup.directory, transcript, MESSAGE, shares)
+    assert not tsig.verify(setup.directory, transcript, ("block", 43), signature)
+
+
+def test_forged_share_detected(setup, transcript):
+    group = setup.directory.pair_group
+    share = tsig.sign_share(setup.directory, setup.secret(0), transcript, MESSAGE)
+    forged = tsig.SignatureShare(party=0, value=group.mul(share.value, group.gt))
+    assert not tsig.share_valid(setup.directory, transcript, MESSAGE, forged)
+    assert not tsig.share_valid(setup.directory, transcript, MESSAGE, "junk")
+    relabeled = tsig.SignatureShare(party=1, value=share.value)
+    assert not tsig.share_valid(setup.directory, transcript, MESSAGE, relabeled)
+
+
+def test_too_few_shares(setup, transcript):
+    shares = [
+        tsig.sign_share(setup.directory, setup.secret(i), transcript, MESSAGE)
+        for i in range(F)
+    ]
+    with pytest.raises(ValueError):
+        tsig.combine(setup.directory, transcript, MESSAGE, shares)
+
+
+def test_forged_signature_rejected(setup, transcript):
+    group = setup.directory.pair_group
+    assert not tsig.verify(
+        setup.directory,
+        transcript,
+        MESSAGE,
+        tsig.ThresholdSignature(value=group.exp(group.gt, 7)),
+    )
+    assert not tsig.verify(setup.directory, transcript, MESSAGE, "junk")
+
+
+def test_signature_bound_to_transcript(setup, transcript):
+    rng = random.Random(55)
+    other = pvss.aggregate(
+        setup.directory,
+        [pvss.deal(setup.directory, setup.secret(i), rng) for i in range(2 * F + 1)],
+    )
+    shares = [
+        tsig.sign_share(setup.directory, setup.secret(i), transcript, MESSAGE)
+        for i in range(F + 1)
+    ]
+    signature = tsig.combine(setup.directory, transcript, MESSAGE, shares)
+    assert not tsig.verify(setup.directory, other, MESSAGE, signature)

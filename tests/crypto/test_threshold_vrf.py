@@ -1,0 +1,129 @@
+"""Threshold VRF: Definition 2's correctness, uniqueness and robustness."""
+
+import random
+
+import pytest
+
+from repro.crypto import threshold_vrf as tvrf
+from repro.crypto.keys import TrustedSetup
+
+N, F = 7, 2
+MESSAGE = ("view", 3)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return TrustedSetup.generate(N, F, seed=21)
+
+
+@pytest.fixture(scope="module")
+def transcript(setup):
+    rng = random.Random(9)
+    shares = [tvrf.DKGSh(setup.directory, setup.secret(i), rng) for i in range(N)]
+    for share in shares:
+        assert tvrf.DKGShVerify(setup.directory, share)
+    return tvrf.DKGAggregate(setup.directory, shares[: 2 * F + 1])
+
+
+def test_dkg_verify(setup, transcript):
+    assert tvrf.DKGVerify(setup.directory, transcript)
+    assert not tvrf.DKGVerify(setup.directory, "junk")
+
+
+def test_eval_share_correctness(setup, transcript):
+    """Definition 2 correctness: honest shares pass EvalShVerify."""
+    for i in range(N):
+        share = tvrf.EvalSh(setup.directory, setup.secret(i), transcript, MESSAGE)
+        assert tvrf.EvalShVerify(setup.directory, transcript, i, MESSAGE, share)
+
+
+def test_eval_share_verify_rejects_wrong_party_or_message(setup, transcript):
+    share = tvrf.EvalSh(setup.directory, setup.secret(0), transcript, MESSAGE)
+    assert not tvrf.EvalShVerify(setup.directory, transcript, 1, MESSAGE, share)
+    assert not tvrf.EvalShVerify(setup.directory, transcript, 0, ("view", 4), share)
+    assert not tvrf.EvalShVerify(setup.directory, transcript, 0, MESSAGE, "junk")
+
+
+def test_eval_combines_any_f_plus_1_shares_identically(setup, transcript):
+    """Robustness: every (f+1)-subset of honest shares gives the same value."""
+    shares = [
+        tvrf.EvalSh(setup.directory, setup.secret(i), transcript, MESSAGE)
+        for i in range(N)
+    ]
+    import itertools
+
+    values = set()
+    for subset in itertools.islice(itertools.combinations(shares, F + 1), 8):
+        evaluation, proof = tvrf.Eval(setup.directory, transcript, MESSAGE, list(subset))
+        assert tvrf.EvalVerify(setup.directory, transcript, MESSAGE, evaluation, proof)
+        values.add(evaluation)
+    assert len(values) == 1
+
+
+def test_uniqueness_no_second_verifying_value(setup, transcript):
+    """Definition 2 uniqueness: only one evaluation verifies per message."""
+    shares = [
+        tvrf.EvalSh(setup.directory, setup.secret(i), transcript, MESSAGE)
+        for i in range(F + 1)
+    ]
+    evaluation, _ = tvrf.Eval(setup.directory, transcript, MESSAGE, shares)
+    group = setup.directory.pair_group
+    other = group.mul(evaluation, group.gt)
+    assert not tvrf.EvalVerify(setup.directory, transcript, MESSAGE, other)
+    assert not tvrf.EvalVerify(setup.directory, transcript, MESSAGE, 123)
+
+
+def test_eval_requires_f_plus_1_distinct_shares(setup, transcript):
+    share = tvrf.EvalSh(setup.directory, setup.secret(0), transcript, MESSAGE)
+    with pytest.raises(ValueError):
+        tvrf.Eval(setup.directory, transcript, MESSAGE, [share] * (F + 1))
+
+
+def test_corrupted_share_detected_before_combination(setup, transcript):
+    group = setup.directory.pair_group
+    share = tvrf.EvalSh(setup.directory, setup.secret(0), transcript, MESSAGE)
+    bad = tvrf.EvalShare(party=0, value=group.mul(share.value, group.gt))
+    assert not tvrf.EvalShVerify(setup.directory, transcript, 0, MESSAGE, bad)
+
+
+def test_different_messages_give_independent_outputs(setup, transcript):
+    outputs = set()
+    for k in range(6):
+        shares = [
+            tvrf.EvalSh(setup.directory, setup.secret(i), transcript, ("idx", k))
+            for i in range(F + 1)
+        ]
+        evaluation, _ = tvrf.Eval(setup.directory, transcript, ("idx", k), shares)
+        outputs.add(tvrf.vrf_output(setup.directory, evaluation))
+    assert len(outputs) == 6
+    for value in outputs:
+        assert 0 <= value < 1 << tvrf.VRF_OUTPUT_BITS
+
+
+def test_different_transcripts_give_different_outputs(setup, transcript):
+    """The VRF key is determined by the transcript (personal DKGs differ)."""
+    rng = random.Random(33)
+    other_shares = [
+        tvrf.DKGSh(setup.directory, setup.secret(i), rng) for i in range(2 * F + 1)
+    ]
+    other = tvrf.DKGAggregate(setup.directory, other_shares)
+    eval_a = tvrf.Eval(
+        setup.directory,
+        transcript,
+        MESSAGE,
+        [
+            tvrf.EvalSh(setup.directory, setup.secret(i), transcript, MESSAGE)
+            for i in range(F + 1)
+        ],
+    )[0]
+    eval_b = tvrf.Eval(
+        setup.directory,
+        other,
+        MESSAGE,
+        [
+            tvrf.EvalSh(setup.directory, setup.secret(i), other, MESSAGE)
+            for i in range(F + 1)
+        ],
+    )[0]
+    assert eval_a != eval_b
+    assert not tvrf.EvalVerify(setup.directory, other, MESSAGE, eval_a)

@@ -1,0 +1,70 @@
+"""Tiny protocols used by the substrate tests."""
+
+from dataclasses import dataclass
+
+from repro.net.payload import Payload
+from repro.net.protocol import Protocol
+
+
+@dataclass(frozen=True)
+class Ping(Payload):
+    counter: int
+
+
+@dataclass(frozen=True)
+class Blob(Payload):
+    data: tuple
+
+    def word_size(self) -> int:
+        return len(self.data)
+
+
+class PingPong(Protocol):
+    """Party 0 pings party 1 ``rounds`` times; both output the final count."""
+
+    def __init__(self, rounds: int = 3) -> None:
+        super().__init__()
+        self.rounds = rounds
+
+    def on_start(self):
+        if self.me == 0:
+            self.send(1, Ping(0))
+        elif self.me > 1:
+            self.output(-1)  # bystanders finish immediately
+
+    def on_message(self, sender, payload):
+        if payload.counter >= self.rounds:
+            self.output(payload.counter)
+            return
+        self.send(sender, Ping(payload.counter + 1))
+        if payload.counter + 1 >= self.rounds:
+            self.output(payload.counter + 1)
+
+
+class EchoAll(Protocol):
+    """Everyone multicasts one message and outputs once n were received."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.seen: set[int] = set()
+
+    def on_start(self):
+        self.multicast(Ping(self.me))
+        self.upon(
+            lambda: len(self.seen) >= self.n,
+            lambda: self.output(frozenset(self.seen)),
+            label="echo-all-done",
+        )
+
+    def on_message(self, sender, payload):
+        self.seen.add(sender)
+
+
+class ParentChild(Protocol):
+    """Parent spawns a child EchoAll and relabels its output."""
+
+    def on_start(self):
+        self.spawn("child", EchoAll())
+
+    def on_sub_output(self, name, value):
+        self.output(("from", name, value))

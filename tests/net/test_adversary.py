@@ -1,0 +1,127 @@
+"""Byzantine behaviours and adversarial schedulers (unit level)."""
+
+import random
+
+import pytest
+
+from repro.net.adversary import (
+    Behavior,
+    CrashBehavior,
+    DropBehavior,
+    EquivocateBehavior,
+    MutateBehavior,
+    RandomLagScheduler,
+    Scheduler,
+    SilentBehavior,
+    TargetedLagScheduler,
+)
+from repro.net.envelope import Envelope
+
+from tests.net.helpers import Ping
+
+RNG = random.Random(0)
+
+
+def _env(sender=0, recipient=1, counter=0):
+    return Envelope(path=(), sender=sender, recipient=recipient, payload=Ping(counter), depth=1)
+
+
+def test_default_behavior_is_honest():
+    behavior = Behavior()
+    env = _env()
+    assert behavior.transform_outgoing(env, RNG) == [env]
+    assert behavior.allow_delivery(env, RNG)
+
+
+def test_silent_behavior():
+    assert SilentBehavior().transform_outgoing(_env(), RNG) == []
+
+
+def test_crash_behavior_counts_sends():
+    behavior = CrashBehavior(after_sends=2)
+    assert behavior.transform_outgoing(_env(), RNG)
+    assert behavior.transform_outgoing(_env(), RNG)
+    assert behavior.transform_outgoing(_env(), RNG) == []
+    assert behavior.crashed
+    assert not behavior.allow_delivery(_env(recipient=0), RNG)
+    with pytest.raises(ValueError):
+        CrashBehavior(after_sends=-1)
+
+
+def test_drop_behavior_rate_extremes():
+    keep_all = DropBehavior(rate=0.0)
+    drop_all = DropBehavior(rate=1.0)
+    assert keep_all.transform_outgoing(_env(), RNG)
+    assert drop_all.transform_outgoing(_env(), RNG) == []
+    with pytest.raises(ValueError):
+        DropBehavior(rate=1.5)
+
+
+def test_mutate_behavior_replace_drop_pass():
+    def mutator(payload, recipient, rng):
+        if payload.counter == 0:
+            return Ping(99)
+        if payload.counter == 1:
+            return None
+        return payload
+
+    behavior = MutateBehavior(mutator)
+    replaced = behavior.transform_outgoing(_env(counter=0), RNG)
+    assert replaced[0].payload == Ping(99)
+    assert behavior.transform_outgoing(_env(counter=1), RNG) == []
+    passthrough = _env(counter=2)
+    assert behavior.transform_outgoing(passthrough, RNG) == [passthrough]
+
+
+def test_mutate_selector_limits_attack():
+    behavior = MutateBehavior(
+        lambda payload, recipient, rng: Ping(99),
+        selector=lambda env: env.recipient == 2,
+    )
+    untouched = _env(recipient=1)
+    assert behavior.transform_outgoing(untouched, RNG) == [untouched]
+    hit = behavior.transform_outgoing(_env(recipient=2), RNG)
+    assert hit[0].payload == Ping(99)
+
+
+def test_equivocate_behavior_targets_only():
+    behavior = EquivocateBehavior(
+        forger=lambda payload, rng: Ping(payload.counter + 100),
+        targets={2, 3},
+    )
+    honest = behavior.transform_outgoing(_env(recipient=1, counter=5), RNG)
+    assert honest[0].payload == Ping(5)
+    forged = behavior.transform_outgoing(_env(recipient=2, counter=5), RNG)
+    assert forged[0].payload == Ping(105)
+    dropped = EquivocateBehavior(
+        forger=lambda payload, rng: None, targets={2}
+    ).transform_outgoing(_env(recipient=2), RNG)
+    assert dropped == []
+
+
+def test_targeted_lag_scheduler():
+    scheduler = TargetedLagScheduler(targets={1}, factor=10.0, horizon=50.0)
+    touched = scheduler.schedule(RNG, _env(sender=1, recipient=2), 1.0, 0.0)
+    untouched = scheduler.schedule(RNG, _env(sender=2, recipient=3), 1.0, 0.0)
+    after_horizon = scheduler.schedule(RNG, _env(sender=1, recipient=2), 1.0, 60.0)
+    assert touched == 10.0
+    assert untouched == 1.0
+    assert after_horizon == 1.0
+    with pytest.raises(ValueError):
+        TargetedLagScheduler(targets={1}, factor=0.5)
+
+
+def test_random_lag_scheduler_bounds():
+    scheduler = RandomLagScheduler(factor=5.0, rate=1.0)
+    rng = random.Random(1)
+    for _ in range(100):
+        delay = scheduler.schedule(rng, _env(), 1.0, 0.0)
+        assert 1.0 <= delay <= 5.0
+    never = RandomLagScheduler(factor=5.0, rate=0.0)
+    assert never.schedule(rng, _env(), 1.0, 0.0) == 1.0
+    with pytest.raises(ValueError):
+        RandomLagScheduler(factor=0.9)
+
+
+def test_base_scheduler_is_identity():
+    assert Scheduler().schedule(RNG, _env(), 2.5, 0.0) == 2.5

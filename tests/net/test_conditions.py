@@ -1,0 +1,101 @@
+"""Condition registry and Completion semantics."""
+
+import pytest
+
+from repro.net.conditions import Completion, ConditionRegistry
+
+
+def test_condition_fires_once_when_satisfied():
+    registry = ConditionRegistry()
+    state = {"x": 0, "fired": 0}
+    registry.add(lambda: state["x"] >= 2, lambda: state.__setitem__("fired", state["fired"] + 1))
+    registry.run_to_fixpoint()
+    assert state["fired"] == 0
+    state["x"] = 2
+    registry.run_to_fixpoint()
+    registry.run_to_fixpoint()
+    assert state["fired"] == 1
+
+
+def test_recurring_condition():
+    registry = ConditionRegistry()
+    log = []
+    state = {"x": 0}
+
+    def act():
+        log.append(state["x"])
+        state["x"] = 0
+
+    registry.add(lambda: state["x"] > 0, act, once=False)
+    state["x"] = 1
+    registry.run_to_fixpoint()
+    state["x"] = 2
+    registry.run_to_fixpoint()
+    assert log == [1, 2]
+
+
+def test_cascading_conditions_reach_fixpoint():
+    registry = ConditionRegistry()
+    state = {"a": False, "b": False, "c": False}
+    registry.add(lambda: state["b"], lambda: state.__setitem__("c", True))
+    registry.add(lambda: state["a"], lambda: state.__setitem__("b", True))
+    state["a"] = True
+    registry.run_to_fixpoint()
+    assert state["c"]
+
+
+def test_action_can_register_new_condition():
+    registry = ConditionRegistry()
+    result = []
+
+    def first():
+        registry.add(lambda: True, lambda: result.append("second"))
+
+    registry.add(lambda: True, first)
+    registry.run_to_fixpoint()
+    assert result == ["second"]
+
+
+def test_cancelled_condition_never_fires():
+    registry = ConditionRegistry()
+    hits = []
+    condition = registry.add(lambda: True, lambda: hits.append(1))
+    condition.cancel()
+    registry.run_to_fixpoint()
+    assert hits == []
+
+
+def test_raising_predicate_is_reported():
+    registry = ConditionRegistry()
+    registry.add(lambda: 1 / 0, lambda: None, label="boom")
+    with pytest.raises(RuntimeError, match="boom"):
+        registry.run_to_fixpoint()
+
+
+def test_livelock_guard():
+    registry = ConditionRegistry()
+    registry.add(lambda: True, lambda: None, once=False)
+    with pytest.raises(RuntimeError):
+        registry.run_to_fixpoint(max_rounds=5)
+
+
+def test_completion_resolution_and_callbacks():
+    completion = Completion()
+    seen = []
+    completion.on_done(seen.append)
+    assert not completion.done
+    with pytest.raises(RuntimeError):
+        _ = completion.value
+    completion.resolve(42)
+    completion.resolve(99)  # second resolve ignored
+    assert completion.done
+    assert completion.value == 42
+    completion.on_done(seen.append)  # late subscriber fires immediately
+    assert seen == [42, 42]
+
+
+def test_pending_count():
+    registry = ConditionRegistry()
+    registry.add(lambda: False, lambda: None)
+    registry.add(lambda: False, lambda: None)
+    assert registry.pending_count() == 2

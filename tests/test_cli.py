@@ -1,0 +1,46 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_run_command(capsys):
+    code = main(["run", "-n", "4", "--seed", "1"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "agreed:        True" in out
+    assert "words sent:" in out
+
+
+def test_run_full(capsys):
+    code = main(["run", "-n", "4", "--seed", "1", "--full"])
+    assert code == 0
+    assert "NWH views:" in capsys.readouterr().out
+
+
+def test_drill_command(capsys):
+    code = main(["drill", "-n", "4", "--seed", "2"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "safety held in every case: True" in out
+    assert "bad-shares" in out
+
+
+def test_sweep_command(capsys):
+    code = main(["sweep", "--min-n", "4", "--max-n", "7", "--seed", "1"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "fitted words ~ n^" in out
+
+
+def test_compare_command(capsys):
+    code = main(["compare", "--min-n", "4", "--max-n", "7", "--seed", "1"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "word_ratio" in out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

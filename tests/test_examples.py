@@ -1,0 +1,35 @@
+"""Every example must run cleanly end-to-end (subprocess smoke tests)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "examples should narrate what they do"
+
+
+def test_example_inventory():
+    names = {path.stem for path in EXAMPLES}
+    assert {
+        "quickstart",
+        "randomness_beacon",
+        "threshold_vault",
+        "byzantine_drill",
+        "asyncio_deployment",
+        "consensus_certificates",
+    } <= names
