@@ -1,42 +1,55 @@
 #!/usr/bin/env python3
-"""Run the identical protocol objects over a realtime asyncio transport.
+"""Run the identical protocol objects over every transport.
 
 The protocol implementations are sans-io: the deterministic simulator
-used by the benchmarks and this asyncio runtime host the *same* ADKG
-class.  Here seven parties exchange messages through asyncio tasks with
-real (randomized) delays and still agree on one DKG transcript.
+used by the benchmarks, the realtime asyncio runtime and the TCP socket
+runtime all host the *same* ADKG class through one root factory.  Here
+seven parties agree on one DKG transcript three times:
+
+* ``sim``     — discrete-event simulation (deterministic, no wall clock);
+* ``asyncio`` — realtime tasks with randomized delays;
+* ``tcp``     — every message crosses a loopback socket as codec bytes.
 
 Run:  python examples/asyncio_deployment.py
 """
 
-import asyncio
 import time
 
 from repro.core.adkg import ADKG
 from repro.crypto import threshold_vrf as tvrf
 from repro.crypto.keys import TrustedSetup
-from repro.net.asyncio_runtime import AsyncioRuntime
+from repro.net.transport import make_transport
 
 N, SEED = 7, 5
 
 
-async def run() -> None:
+def root_factory(party):
+    """The one factory every transport hosts unchanged."""
+    return ADKG()
+
+
+def run_on(kind: str) -> None:
     setup = TrustedSetup.generate(N, seed=SEED)
-    runtime = AsyncioRuntime(setup, max_delay=0.003, seed=SEED)
+    transport = make_transport(kind, setup, seed=SEED, measure_bytes=True)
     started = time.perf_counter()
-    results = await runtime.run(lambda party: ADKG(), timeout=120)
+    results = transport.run_sync(root_factory, timeout=120)
     elapsed = time.perf_counter() - started
 
     transcripts = list(results.values())
     assert all(t == transcripts[0] for t in transcripts), "agreement violated!"
     assert tvrf.DKGVerify(setup.directory, transcripts[0])
-    print(f"{N} asyncio parties agreed on one DKG transcript in {elapsed:.2f}s wall clock")
-    print(f"contributors: {sorted(transcripts[0].contributors)}")
-    print(f"words metered on the wire: {runtime.metrics.words_total:,}")
+    print(
+        f"[{kind:7s}] {N} parties agreed in {elapsed:5.2f}s wall clock | "
+        f"contributors {sorted(transcripts[0].contributors)} | "
+        f"{transport.metrics.words_total:,} words / "
+        f"{transport.metrics.bytes_total:,} bytes on the wire"
+    )
 
 
 def main() -> None:
-    asyncio.run(run())
+    for kind in ("sim", "asyncio", "tcp"):
+        run_on(kind)
+    print("same ADKG root factory, three transports, one transcript shape")
 
 
 if __name__ == "__main__":

@@ -28,13 +28,14 @@ from repro.core.adkg import ADKG
 from repro.crypto.keys import TrustedSetup
 from repro.net.delays import DelayModel, FixedDelay
 from repro.net.runtime import Simulation
+from repro.net.transport import Transport, make_transport
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 
 @dataclass
 class ADKGResult:
-    """Outcome of one simulated A-DKG execution."""
+    """Outcome of one A-DKG execution (any transport)."""
 
     n: int
     f: int
@@ -45,12 +46,38 @@ class ADKGResult:
     messages_total: int
     rounds: float
     views: int
+    bytes_total: int = 0
+    transport: str = "sim"
     metrics_summary: dict = field(default_factory=dict)
 
     @property
     def agreed(self) -> bool:
         values = list(self.outputs.values())
         return bool(values) and all(v == values[0] for v in values)
+
+
+def _collect_result(transport: Transport, kind: str) -> ADKGResult:
+    outputs = transport.honest_results()
+    transcript = next(iter(outputs.values()), None)
+    views = 0
+    for i in transport.honest:
+        nwh = transport.parties[i].instance(("nwh",))
+        if nwh is not None:
+            views = max(views, nwh.views_entered)
+    return ADKGResult(
+        n=transport.n,
+        f=transport.f,
+        transcript=transcript,
+        public_key=getattr(transcript, "public_key", None),
+        outputs=outputs,
+        words_total=transport.metrics.words_total,
+        messages_total=transport.metrics.messages_total,
+        rounds=transport.round_measure(),
+        views=views,
+        bytes_total=transport.metrics.bytes_total,
+        transport=kind,
+        metrics_summary=transport.metrics.summary(),
+    )
 
 
 def run_adkg(
@@ -64,47 +91,68 @@ def run_adkg(
     broadcast_kind: str = "ct",
     to_quiescence: bool = False,
     setup: Optional[TrustedSetup] = None,
+    transport: str = "sim",
+    measure_bytes: Optional[bool] = None,
+    timeout: float = 120.0,
 ) -> ADKGResult:
-    """Run one A-DKG simulation and return its result + metrics.
+    """Run one A-DKG over the selected transport and return result + metrics.
 
-    With the default ``delay_model=FixedDelay(1.0)`` the reported
-    ``rounds`` equals the length of the longest causal message chain —
-    the standard asynchronous round measure.  Set ``to_quiescence=True``
-    to keep running after agreement so that ``words_total`` counts every
-    message the protocol ever sends (what Theorems 6-10 bound).
+    ``transport`` selects the runtime: ``"sim"`` (deterministic
+    discrete-event simulator, the default), ``"asyncio"`` (realtime tasks
+    with random sleeps) or ``"tcp"`` (real loopback stream sockets with
+    the byte codec; always byte-metered).  ``delay_model``, ``scheduler``
+    and ``to_quiescence`` apply to the simulator only; combining them
+    with a realtime transport raises ``ValueError``.
+
+    With the default ``delay_model=FixedDelay(1.0)`` the simulator's
+    reported ``rounds`` equals the length of the longest causal message
+    chain — the standard asynchronous round measure.  Set
+    ``to_quiescence=True`` to keep running after agreement so that
+    ``words_total`` counts every message the protocol ever sends (what
+    Theorems 6-10 bound).
     """
+    if transport != "sim" and (
+        to_quiescence or delay_model is not None or scheduler is not None
+    ):
+        # Refuse rather than silently return numbers measured under
+        # different semantics than the caller asked for.
+        raise ValueError(
+            "to_quiescence, delay_model and scheduler apply to the sim "
+            f"transport only, not {transport!r}"
+        )
     setup = setup or TrustedSetup.generate(n, f, params=params, seed=seed)
-    sim = Simulation(
+    root_factory = lambda party: ADKG(broadcast_kind=broadcast_kind)  # noqa: E731
+    transport_kwargs: dict[str, Any] = (
+        {"delay_model": delay_model or FixedDelay(1.0), "scheduler": scheduler}
+        if transport == "sim"
+        else {}
+    )
+    if measure_bytes is not None:
+        # None means "the transport's default": off for sim/asyncio, and
+        # always-on for TCP (which refuses measure_bytes=False).
+        transport_kwargs["measure_bytes"] = measure_bytes
+    runtime = make_transport(
+        transport,
         setup,
-        delay_model=delay_model or FixedDelay(1.0),
-        scheduler=scheduler,
         behaviors=behaviors,
         seed=seed,
+        **transport_kwargs,
     )
-    sim.start(lambda party: ADKG(broadcast_kind=broadcast_kind))
     if to_quiescence:
-        sim.run()
+        # Simulator only (validated above): keep running after agreement
+        # so words_total counts every message ever sent.
+        runtime.start(root_factory)
+        runtime.run()
     else:
-        sim.run_until_all_honest_output()
-    outputs = sim.honest_results()
-    transcript = next(iter(outputs.values()), None)
-    views = 0
-    for i in sim.honest:
-        nwh = sim.parties[i].instance(("nwh",))
-        if nwh is not None:
-            views = max(views, nwh.views_entered)
-    return ADKGResult(
-        n=sim.n,
-        f=sim.f,
-        transcript=transcript,
-        public_key=getattr(transcript, "public_key", None),
-        outputs=outputs,
-        words_total=sim.metrics.words_total,
-        messages_total=sim.metrics.messages_total,
-        rounds=sim.time,
-        views=views,
-        metrics_summary=sim.metrics.summary(),
-    )
+        runtime.run_sync(root_factory, timeout=timeout)
+    return _collect_result(runtime, transport)
 
 
-__all__ = ["run_adkg", "ADKGResult", "TrustedSetup", "Simulation", "__version__"]
+__all__ = [
+    "run_adkg",
+    "ADKGResult",
+    "TrustedSetup",
+    "Simulation",
+    "make_transport",
+    "__version__",
+]

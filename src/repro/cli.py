@@ -2,7 +2,8 @@
 
 Commands
 --------
-``run``         simulate one A-DKG and print the outcome + costs
+``run``         run one A-DKG (``--transport sim|asyncio|tcp``) and print
+                the outcome + word/byte costs
 ``sweep``       words/rounds across a range of n (quick Theorem-10 view)
 ``drill``       the Byzantine fault matrix (Theorems 1/3/4/5 in action)
 ``compare``     this work vs the Ω(n⁴) baseline (the Section-1 headline)
@@ -15,16 +16,43 @@ import sys
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    import time
+
     from repro import run_adkg
 
-    result = run_adkg(n=args.n, seed=args.seed, to_quiescence=args.full)
-    print(f"n={result.n} f={result.f} seed={args.seed}")
+    if args.full and args.transport != "sim":
+        print("error: --full applies to the sim transport only", file=sys.stderr)
+        return 2
+    started = time.perf_counter()
+    try:
+        result = run_adkg(
+            n=args.n,
+            seed=args.seed,
+            to_quiescence=args.full,
+            transport=args.transport,
+            measure_bytes=True,
+            timeout=args.timeout,
+        )
+    except TimeoutError:
+        print(
+            f"error: no agreement within {args.timeout}s on the "
+            f"{args.transport} transport (raise --timeout?)",
+            file=sys.stderr,
+        )
+        return 1
+    except OSError as exc:
+        print(f"error: transport failure: {exc}", file=sys.stderr)
+        return 1
+    elapsed = time.perf_counter() - started
+    print(f"n={result.n} f={result.f} seed={args.seed} transport={result.transport}")
     print(f"agreed:        {result.agreed}")
     print(f"contributors:  {sorted(result.transcript.contributors)}")
     print(f"words sent:    {result.words_total:,}")
     print(f"messages sent: {result.messages_total:,}")
+    print(f"bytes on wire: {result.bytes_total:,}")
     print(f"async rounds:  {result.rounds:.0f}")
     print(f"NWH views:     {result.views}")
+    print(f"wall clock:    {elapsed:.2f}s")
     return 0 if result.agreed else 1
 
 
@@ -85,11 +113,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    run_p = sub.add_parser("run", help="simulate one A-DKG")
+    run_p = sub.add_parser("run", help="run one A-DKG over a chosen transport")
     run_p.add_argument("-n", type=int, default=7, help="number of parties")
     run_p.add_argument("--seed", type=int, default=0)
     run_p.add_argument(
-        "--full", action="store_true", help="run to quiescence (count all words)"
+        "--transport",
+        choices=("sim", "asyncio", "tcp"),
+        default="sim",
+        help="runtime: deterministic simulator, realtime asyncio, or TCP sockets",
+    )
+    run_p.add_argument(
+        "--full",
+        action="store_true",
+        help="run to quiescence (count all words; sim transport only)",
+    )
+    run_p.add_argument(
+        "--timeout",
+        type=float,
+        default=120.0,
+        help="wall-clock limit for realtime transports (seconds)",
     )
     run_p.set_defaults(func=_cmd_run)
 

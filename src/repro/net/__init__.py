@@ -2,11 +2,13 @@
 
 Protocols are *sans-io* state machines (:class:`repro.net.protocol.Protocol`)
 composed into per-party stacks (:class:`repro.net.party.Party`) and executed
-either by the deterministic discrete-event simulator
-(:class:`repro.net.runtime.Simulation`) or by the realtime asyncio runner
-(:mod:`repro.net.asyncio_runtime`).  The transport meters words, messages
-and causal rounds (:mod:`repro.net.metrics`), and the adversary controls
-both message scheduling and Byzantine party behaviour
+by a pluggable :class:`repro.net.transport.Transport`: the deterministic
+discrete-event simulator (:class:`repro.net.runtime.Simulation`), the
+realtime asyncio runner (:mod:`repro.net.asyncio_runtime`) or the real
+socket transport (:mod:`repro.net.tcp_runtime`), which ships every message
+as :mod:`repro.net.codec` bytes.  The transport meters words, messages,
+bytes and causal rounds (:mod:`repro.net.metrics`), and the adversary
+controls both message scheduling and Byzantine party behaviour
 (:mod:`repro.net.adversary`).
 """
 
@@ -23,7 +25,15 @@ from repro.net.delays import (
     ExponentialDelay,
     HeavyTailDelay,
 )
+from repro.net.transport import (
+    Transport,
+    RealtimeTransport,
+    make_transport,
+    TRANSPORT_KINDS,
+)
 from repro.net.runtime import Simulation
+from repro.net.asyncio_runtime import AsyncioRuntime
+from repro.net.tcp_runtime import TCPRuntime
 from repro.net.adversary import (
     Behavior,
     CrashBehavior,
@@ -48,7 +58,13 @@ __all__ = [
     "UniformDelay",
     "ExponentialDelay",
     "HeavyTailDelay",
+    "Transport",
+    "RealtimeTransport",
+    "make_transport",
+    "TRANSPORT_KINDS",
     "Simulation",
+    "AsyncioRuntime",
+    "TCPRuntime",
     "Behavior",
     "CrashBehavior",
     "SilentBehavior",

@@ -8,26 +8,28 @@ would host them.
 
 Each network envelope becomes an ``asyncio`` task that sleeps for a
 random delay and then delivers; self-addressed envelopes are delivered
-inline.  Words/messages are metered exactly like the simulator.
+inline.  Words/messages are metered exactly like the simulator (pass
+``measure_bytes=True`` to also meter codec bytes).  The outbox/behavior/
+metrics pipeline is the shared :class:`~repro.net.transport.Transport`
+one; only the in-flight mechanism (a sleeping task per envelope) lives
+here.
 """
 
 from __future__ import annotations
 
 import asyncio
 import random
-from typing import Any, Callable, Optional
+from typing import Optional
 
 from repro.crypto.keys import TrustedSetup
 from repro.net.adversary import Behavior
 from repro.net.envelope import Envelope
-from repro.net.metrics import Metrics
-from repro.net.party import Party
-from repro.net.protocol import Protocol
+from repro.net.transport import RealtimeTransport, RootFactory
 
-RootFactory = Callable[[Party], Protocol]
+__all__ = ["AsyncioRuntime", "RootFactory"]
 
 
-class AsyncioRuntime:
+class AsyncioRuntime(RealtimeTransport):
     """Run an n-party protocol over asyncio with real sleeps."""
 
     def __init__(
@@ -36,81 +38,24 @@ class AsyncioRuntime:
         max_delay: float = 0.005,
         behaviors: Optional[dict[int, Behavior]] = None,
         seed: int = 0,
+        measure_bytes: bool = False,
     ) -> None:
-        directory = setup.directory
-        self.setup = setup
-        self.n = directory.n
-        self.f = directory.f
+        super().__init__(
+            setup,
+            behaviors,
+            seed,
+            rng_namespace="asyncio-runtime",
+            measure_bytes=measure_bytes,
+        )
         self.max_delay = max_delay
-        self.behaviors = dict(behaviors or {})
-        self.metrics = Metrics()
-        self._rng = random.Random(f"asyncio-runtime-{seed}")
-        self.parties = [
-            Party(
-                index=i,
-                n=self.n,
-                f=self.f,
-                rng=random.Random(f"asyncio-party-{seed}-{i}"),
-                directory=directory,
-                secret=setup.secret(i),
-            )
-            for i in range(self.n)
-        ]
-        self._tasks: set[asyncio.Task] = set()
-        self._all_output = asyncio.Event()
+        self._delay_rng = random.Random(f"asyncio-runtime-net-{seed}")
 
-    async def run(self, root_factory: RootFactory, timeout: float = 60.0) -> dict[int, Any]:
-        """Start every party; return honest outputs (raises on timeout)."""
-        for party in self.parties:
-            party.run_root(root_factory(party))
-            party.sweep_conditions()
-        for party in self.parties:
-            self._flush(party)
-        self._check_done()
-        try:
-            await asyncio.wait_for(self._all_output.wait(), timeout=timeout)
-        finally:
-            for task in self._tasks:
-                task.cancel()
-            await asyncio.gather(*self._tasks, return_exceptions=True)
-        honest = frozenset(range(self.n)) - frozenset(self.behaviors)
-        return {i: self.parties[i].result for i in sorted(honest)}
+    # -- transport hooks ---------------------------------------------------------------
 
-    # -- internals -----------------------------------------------------------------
-
-    def _flush(self, party: Party) -> None:
-        pending = party.collect_outbox()
-        while pending:
-            envelope = pending.pop(0)
-            if envelope.recipient == envelope.sender:
-                self.metrics.record_delivery(envelope)
-                party.deliver(envelope)
-                pending.extend(party.collect_outbox())
-                continue
-            behavior = self.behaviors.get(envelope.sender)
-            outgoing = (
-                behavior.transform_outgoing(envelope, self._rng)
-                if behavior is not None
-                else [envelope]
-            )
-            for env in outgoing:
-                self.metrics.record_send(env)
-                task = asyncio.ensure_future(self._deliver_later(env))
-                self._tasks.add(task)
-                task.add_done_callback(self._tasks.discard)
+    def _transmit(self, envelope: Envelope, frame: bytes | None) -> bool:
+        self._spawn(self._deliver_later(envelope))
+        return True
 
     async def _deliver_later(self, envelope: Envelope) -> None:
-        await asyncio.sleep(self._rng.uniform(0.0, self.max_delay))
-        behavior = self.behaviors.get(envelope.recipient)
-        if behavior is not None and not behavior.allow_delivery(envelope, self._rng):
-            return
-        self.metrics.record_delivery(envelope)
-        recipient = self.parties[envelope.recipient]
-        recipient.deliver(envelope)
-        self._flush(recipient)
-        self._check_done()
-
-    def _check_done(self) -> None:
-        honest = frozenset(range(self.n)) - frozenset(self.behaviors)
-        if all(self.parties[i].has_result for i in honest):
-            self._all_output.set()
+        await asyncio.sleep(self._delay_rng.uniform(0.0, self.max_delay))
+        self._deliver_envelope(envelope)

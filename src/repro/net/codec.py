@@ -1,0 +1,562 @@
+"""Registry-based byte codec for every value that crosses a transport.
+
+The sans-io protocols exchange frozen dataclasses (payloads, certificates,
+PVSS contributions, group elements, ...).  The simulator can pass them by
+reference, but the TCP runtime — and the erasure-coded broadcast, which
+genuinely fragments a byte string — need a real wire format.  This module
+provides one without pickle: a deterministic tag-length-value encoding
+with an explicit *type registry*.
+
+Format
+------
+Every value is a one-byte tag followed by tag-specific content:
+
+====  ==========================================================
+0x00  ``None``
+0x01  ``True``
+0x02  ``False``
+0x03  int — zigzag varint (arbitrary precision)
+0x04  bytes — varint length + raw bytes
+0x05  str — varint length + UTF-8 bytes
+0x06  tuple — varint count + items
+0x07  list — varint count + items
+0x08  frozenset — varint count + items, sorted by encoded bytes
+0x09  set — like frozenset
+0x0A  dict — varint count + key/value pairs, sorted by encoded key
+0x0B  float — 8 bytes IEEE-754 big-endian
+0x10  registered struct — varint type id + varint field count + fields
+====  ==========================================================
+
+Structs are registered with :func:`register` under a stable numeric id
+(the ids below are part of the wire format; never reuse one).  A
+registered dataclass is encoded as its fields in declaration order, so
+``decode(encode(x)) == x`` for every registered type whose fields are
+themselves encodable.  Sets and dicts are serialized in sorted-encoding
+order, making ``encode`` deterministic: equal values produce equal bytes.
+
+``decode`` is strict: unknown tags, unknown type ids, truncated buffers,
+trailing bytes, invalid UTF-8 and field-count mismatches all raise
+:class:`CodecError`.  This is the hardening ``broadcast/wire.py`` claims:
+a Byzantine dealer's malformed bytes surface as a clean error (mapped to
+"dealer faulty" upstream), never as attacker-controlled object
+construction the way ``pickle.loads`` would allow.
+
+See DESIGN.md section 3 for how the codec slots into the transport
+architecture.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct as _struct
+from typing import Any, Optional
+
+__all__ = [
+    "CodecError",
+    "register",
+    "registered_types",
+    "encode",
+    "decode",
+    "encode_envelope",
+    "decode_envelope",
+    "encoded_size",
+]
+
+
+class CodecError(ValueError):
+    """Raised when bytes cannot be decoded (or a value cannot be encoded)."""
+
+
+_TAG_NONE = 0x00
+_TAG_TRUE = 0x01
+_TAG_FALSE = 0x02
+_TAG_INT = 0x03
+_TAG_BYTES = 0x04
+_TAG_STR = 0x05
+_TAG_TUPLE = 0x06
+_TAG_LIST = 0x07
+_TAG_FROZENSET = 0x08
+_TAG_SET = 0x09
+_TAG_DICT = 0x0A
+_TAG_FLOAT = 0x0B
+_TAG_STRUCT = 0x10
+
+# Registered struct ids, stable across versions (wire compatibility):
+#   1-19    substrate (Envelope)
+#   20-39   crypto value types
+#   64-99   protocol payloads
+#   >= 9000 reserved for tests / external extensions
+_ENVELOPE_ID = 1
+
+_by_type: dict[type, tuple[int, tuple[str, ...]]] = {}
+_by_id: dict[int, tuple[type, tuple[str, ...], tuple[Any, ...]]] = {}
+_by_name: dict[str, type] = {}
+_builtin_registered = False
+_registering = False
+
+_SIMPLE_ANNOTATIONS: dict[str, type] = {
+    "int": int,
+    "bytes": bytes,
+    "str": str,
+    "bool": bool,
+    "float": float,
+    "tuple": tuple,
+    "Path": tuple,  # the Envelope path alias
+    "list": list,
+    "set": set,
+    "frozenset": frozenset,
+    "dict": dict,
+}
+
+
+def _annotation_checker(annotation: Any) -> Any:
+    """Best-effort type check derived from a dataclass field annotation.
+
+    Returns a type to isinstance-check, a class-name string resolved
+    against the registry at decode time, or ``None`` for annotations we
+    cannot (or should not) enforce — ``Any``, ``Optional``, unions.
+    Honest encoders always satisfy their own annotations, so this rejects
+    only attacker-crafted frames whose field values have the wrong shape.
+    """
+    if not isinstance(annotation, str):
+        annotation = getattr(annotation, "__name__", "")
+    if "|" in annotation:
+        return None  # PEP-604 unions admit several types: unchecked
+    base = annotation.strip().split("[", 1)[0].strip().split(".")[-1]
+    if base in _SIMPLE_ANNOTATIONS:
+        return _SIMPLE_ANNOTATIONS[base]
+    if not base or base in ("Any", "Optional", "Union", "object", "None"):
+        return None
+    return base  # resolved against _by_name lazily
+
+
+def register(cls: type, type_id: int, fields: Optional[tuple[str, ...]] = None) -> type:
+    """Register a dataclass under a stable wire id.
+
+    ``fields`` defaults to the dataclass fields in declaration order; the
+    decoder reconstructs instances via ``cls(*field_values)`` and checks
+    each value against the field's annotation where that annotation names
+    a concrete type.  Ids below 9000 are reserved for the repo itself.
+    """
+    if not dataclasses.is_dataclass(cls):
+        raise TypeError(f"can only register dataclasses, got {cls!r}")
+    declared = {f.name: f.type for f in dataclasses.fields(cls)}
+    if fields is None:
+        fields = tuple(declared)
+    existing = _by_id.get(type_id)
+    if existing is not None and existing[0] is not cls:
+        raise ValueError(
+            f"codec id {type_id} already taken by {existing[0].__name__}"
+        )
+    checkers = tuple(_annotation_checker(declared.get(name)) for name in fields)
+    _by_type[cls] = (type_id, fields)
+    _by_id[type_id] = (cls, fields, checkers)
+    _by_name[cls.__name__] = cls
+    return cls
+
+
+def registered_types() -> dict[type, int]:
+    """Every registered type and its wire id (triggers full registration)."""
+    _ensure_registered()
+    return {cls: type_id for cls, (type_id, _fields) in _by_type.items()}
+
+
+# -- varints ---------------------------------------------------------------------------
+
+
+def _write_uvarint(out: bytearray, value: int) -> None:
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+#: Integers (after zigzag) are bounded to this many bits on the wire —
+#: far above the 256-bit STANDARD group parameters, and enforced
+#: symmetrically: `encode` refuses above it, `decode` rejects above it.
+_MAX_INT_BITS = 4096
+
+
+def _read_uvarint(data: bytes, pos: int) -> tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise CodecError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > _MAX_INT_BITS:  # bounds attacker-supplied "infinite" varints
+            raise CodecError("varint too long")
+
+
+# Arbitrary-precision zigzag: non-negative n -> 2n, negative n -> -2n - 1.
+def _zigzag_encode(value: int) -> int:
+    return value << 1 if value >= 0 else ((-value) << 1) - 1
+
+
+def _zigzag_decode(value: int) -> int:
+    return value >> 1 if not value & 1 else -((value + 1) >> 1)
+
+
+# -- encoding --------------------------------------------------------------------------
+
+
+def _encode_into(out: bytearray, value: Any) -> None:
+    if value is None:
+        out.append(_TAG_NONE)
+    elif value is True:
+        out.append(_TAG_TRUE)
+    elif value is False:
+        out.append(_TAG_FALSE)
+    elif type(value) is int:
+        zigzagged = _zigzag_encode(value)
+        if zigzagged.bit_length() > _MAX_INT_BITS:
+            # Same bound the decoder enforces: fail loudly at the sender
+            # instead of encoding bytes the receiver will reject.
+            raise CodecError(f"integer exceeds the codec bound ({_MAX_INT_BITS} bits)")
+        out.append(_TAG_INT)
+        _write_uvarint(out, zigzagged)
+    elif type(value) is bytes:
+        out.append(_TAG_BYTES)
+        _write_uvarint(out, len(value))
+        out.extend(value)
+    elif type(value) is str:
+        raw = value.encode("utf-8")
+        out.append(_TAG_STR)
+        _write_uvarint(out, len(raw))
+        out.extend(raw)
+    elif type(value) is tuple:
+        out.append(_TAG_TUPLE)
+        _write_uvarint(out, len(value))
+        for item in value:
+            _encode_into(out, item)
+    elif type(value) is list:
+        out.append(_TAG_LIST)
+        _write_uvarint(out, len(value))
+        for item in value:
+            _encode_into(out, item)
+    elif type(value) in (frozenset, set):
+        out.append(_TAG_FROZENSET if type(value) is frozenset else _TAG_SET)
+        parts = sorted(encode(item) for item in value)
+        _write_uvarint(out, len(parts))
+        for part in parts:
+            out.extend(part)
+    elif type(value) is dict:
+        out.append(_TAG_DICT)
+        pairs = sorted((encode(k), encode(v)) for k, v in value.items())
+        _write_uvarint(out, len(pairs))
+        for key_bytes, value_bytes in pairs:
+            out.extend(key_bytes)
+            out.extend(value_bytes)
+    elif type(value) is float:
+        out.append(_TAG_FLOAT)
+        out.extend(_struct.pack(">d", value))
+    else:
+        entry = _by_type.get(type(value))
+        if entry is None:
+            raise CodecError(
+                f"no codec registration for type {type(value).__name__!r}"
+            )
+        type_id, fields = entry
+        out.append(_TAG_STRUCT)
+        _write_uvarint(out, type_id)
+        _write_uvarint(out, len(fields))
+        for name in fields:
+            _encode_into(out, getattr(value, name))
+
+
+def encode(value: Any) -> bytes:
+    """Deterministically encode ``value`` to bytes.
+
+    Raises :class:`CodecError` for unregistered/unsupported types.
+    """
+    _ensure_registered()
+    out = bytearray()
+    _encode_into(out, value)
+    return bytes(out)
+
+
+# -- decoding --------------------------------------------------------------------------
+
+
+def _decode_from(data: bytes, pos: int, depth: int = 0) -> tuple[Any, int]:
+    if depth > 64:
+        raise CodecError("value nesting too deep")
+    if pos >= len(data):
+        raise CodecError("truncated value")
+    tag = data[pos]
+    pos += 1
+    if tag == _TAG_NONE:
+        return None, pos
+    if tag == _TAG_TRUE:
+        return True, pos
+    if tag == _TAG_FALSE:
+        return False, pos
+    if tag == _TAG_INT:
+        raw, pos = _read_uvarint(data, pos)
+        if raw.bit_length() > _MAX_INT_BITS:
+            # Exactly the bound encode enforces: without this, a crafted
+            # frame could inject an int honest parties cannot re-encode.
+            raise CodecError(f"integer exceeds the codec bound ({_MAX_INT_BITS} bits)")
+        return _zigzag_decode(raw), pos
+    if tag == _TAG_BYTES:
+        length, pos = _read_uvarint(data, pos)
+        if pos + length > len(data):
+            raise CodecError("truncated bytes")
+        return data[pos : pos + length], pos + length
+    if tag == _TAG_STR:
+        length, pos = _read_uvarint(data, pos)
+        if pos + length > len(data):
+            raise CodecError("truncated string")
+        try:
+            return data[pos : pos + length].decode("utf-8"), pos + length
+        except UnicodeDecodeError as exc:
+            raise CodecError("invalid UTF-8 in string") from exc
+    if tag in (_TAG_TUPLE, _TAG_LIST, _TAG_FROZENSET, _TAG_SET):
+        count, pos = _read_uvarint(data, pos)
+        if count > len(data):  # cheap bound: every item costs >= 1 byte
+            raise CodecError("container length exceeds buffer")
+        items = []
+        for _ in range(count):
+            item, pos = _decode_from(data, pos, depth + 1)
+            items.append(item)
+        if tag == _TAG_TUPLE:
+            return tuple(items), pos
+        if tag == _TAG_LIST:
+            return items, pos
+        try:
+            collected = frozenset(items) if tag == _TAG_FROZENSET else set(items)
+        except TypeError as exc:
+            raise CodecError("unhashable set member") from exc
+        if len(collected) != count:
+            raise CodecError("duplicate set member")
+        return collected, pos
+    if tag == _TAG_DICT:
+        count, pos = _read_uvarint(data, pos)
+        if count > len(data):
+            raise CodecError("container length exceeds buffer")
+        result: dict = {}
+        for _ in range(count):
+            key, pos = _decode_from(data, pos, depth + 1)
+            value, pos = _decode_from(data, pos, depth + 1)
+            try:
+                result[key] = value
+            except TypeError as exc:
+                raise CodecError("unhashable dict key") from exc
+        if len(result) != count:
+            raise CodecError("duplicate dict key")
+        return result, pos
+    if tag == _TAG_FLOAT:
+        if pos + 8 > len(data):
+            raise CodecError("truncated float")
+        return _struct.unpack(">d", data[pos : pos + 8])[0], pos + 8
+    if tag == _TAG_STRUCT:
+        type_id, pos = _read_uvarint(data, pos)
+        entry = _by_id.get(type_id)
+        if entry is None:
+            raise CodecError(f"unknown codec type id {type_id}")
+        cls, fields, checkers = entry
+        count, pos = _read_uvarint(data, pos)
+        if count != len(fields):
+            raise CodecError(
+                f"field count mismatch for {cls.__name__}: "
+                f"expected {len(fields)}, got {count}"
+            )
+        values = []
+        for name, checker in zip(fields, checkers):
+            value, pos = _decode_from(data, pos, depth + 1)
+            _check_field(cls, name, checker, value)
+            values.append(value)
+        try:
+            return cls(*values), pos
+        except CodecError:
+            raise
+        except Exception as exc:
+            raise CodecError(f"cannot construct {cls.__name__}: {exc}") from exc
+    raise CodecError(f"unknown tag byte {tag:#04x}")
+
+
+def _check_field(cls: type, name: str, checker: Any, value: Any) -> None:
+    """Reject attacker-crafted field values whose type contradicts the
+    field's concrete annotation (crash-vector hardening; ``Any`` fields
+    stay unchecked — protocol handlers isinstance-check those)."""
+    if checker is None:
+        return
+    if isinstance(checker, str):
+        resolved = _by_name.get(checker)
+        if resolved is None:
+            return  # annotation names a type the registry doesn't know
+        checker = resolved
+    if not isinstance(value, checker):
+        raise CodecError(
+            f"field {cls.__name__}.{name} expects {checker.__name__}, "
+            f"got {type(value).__name__}"
+        )
+
+
+def decode(data: bytes) -> Any:
+    """Decode one value; the buffer must contain exactly one encoding.
+
+    Raises :class:`CodecError` on any malformation, including trailing
+    bytes after a well-formed prefix.
+    """
+    _ensure_registered()
+    if not isinstance(data, (bytes, bytearray, memoryview)):
+        raise CodecError(f"expected bytes, got {type(data).__name__}")
+    value, pos = _decode_from(bytes(data), 0)
+    if pos != len(data):
+        raise CodecError(f"{len(data) - pos} trailing bytes after value")
+    return value
+
+
+# -- envelopes -------------------------------------------------------------------------
+
+
+def encode_envelope(envelope: Any) -> bytes:
+    """Encode a routed :class:`~repro.net.envelope.Envelope` to wire bytes."""
+    from repro.net.envelope import Envelope
+
+    if not isinstance(envelope, Envelope):
+        raise CodecError(f"expected Envelope, got {type(envelope).__name__}")
+    return encode(envelope)
+
+
+def decode_envelope(data: bytes) -> Any:
+    """Decode wire bytes into an :class:`~repro.net.envelope.Envelope`.
+
+    The decoded value must be an envelope with an int sender/recipient/
+    depth, a tuple path, and a :class:`~repro.net.payload.Payload`
+    payload — anything else raises :class:`CodecError`.
+    """
+    from repro.net.envelope import Envelope
+    from repro.net.payload import Payload
+
+    value = decode(data)
+    if not isinstance(value, Envelope):
+        raise CodecError("decoded value is not an Envelope")
+    if not isinstance(value.path, tuple):
+        raise CodecError("envelope path must be a tuple")
+    try:
+        hash(value.path)
+    except TypeError as exc:
+        # An unhashable path element (e.g. a list) would blow up the
+        # recipient's instance-table lookup — fail closed here instead.
+        raise CodecError("envelope path is not hashable") from exc
+    if not isinstance(value.payload, Payload):
+        raise CodecError("envelope payload is not a registered Payload")
+    for field_name in ("sender", "recipient", "depth"):
+        if not isinstance(getattr(value, field_name), int):
+            raise CodecError(f"envelope {field_name} must be an int")
+    return value
+
+
+def encoded_size(value: Any) -> int:
+    """Bytes ``value`` occupies on the wire (without transport framing)."""
+    return len(encode(value))
+
+
+# -- built-in registrations ------------------------------------------------------------
+
+
+def _ensure_registered() -> None:
+    """Register the repo's payloads and crypto value types (idempotent).
+
+    Registration is lazy so that this module can be imported from anywhere
+    in the net layer without creating import cycles with the protocol
+    modules it serializes.
+    """
+    global _builtin_registered, _registering
+    if _builtin_registered or _registering:
+        return
+    # The success flag is only set after every registration ran: if an
+    # import fails mid-way, the next call retries and re-raises the real
+    # error instead of silently operating on a half-filled registry.
+    # The in-progress flag guards against re-entrance while the protocol
+    # modules are importing.
+    _registering = True
+    try:
+        _register_builtins()
+        _builtin_registered = True
+    finally:
+        _registering = False
+
+
+def _register_builtins() -> None:
+    from repro.net.envelope import Envelope
+    from repro.crypto.pairing import GroupElement
+    from repro.crypto import nizk, schnorr
+    from repro.crypto.kzg import KZGOpening
+    from repro.crypto.merkle import MerkleProof
+    from repro.crypto.pvss import ContributorTag, PVSSContribution, PVSSTranscript
+    from repro.crypto.scalar_pvss import DecryptedShare, ScalarDealing
+    from repro.crypto.shamir import ShamirShare
+    from repro.crypto.threshold_enc import Ciphertext, DecryptionShare
+    from repro.crypto.threshold_sig import SignatureShare, ThresholdSignature
+    from repro.crypto.threshold_vrf import EvalShare
+    from repro.core.certificates import KeyTuple, SignedVote
+    from repro.core.adkg import ADKGShare
+    from repro.core.nwh import (
+        BlameMsg,
+        CommitMsg,
+        EchoMsg,
+        EquivocateMsg,
+        KeyVoteMsg,
+        LockVoteMsg,
+        Suggest,
+    )
+    from repro.core.proposal_election import PEDkgShare, PEEvalShare
+    from repro.broadcast.bracha import BrachaEcho, BrachaReady, BrachaVal
+    from repro.broadcast.ct_rbc import CTEcho, CTReady, CTVal
+    from repro.baselines.aba import Aux, BVal, CoinShareMsg, Decided
+
+    # Substrate.
+    register(Envelope, _ENVELOPE_ID)
+    # Crypto value types.
+    register(GroupElement, 20)
+    register(schnorr.Signature, 21)
+    register(nizk.DlogProof, 22)
+    register(nizk.DleqProof, 23)
+    register(MerkleProof, 24)
+    register(KZGOpening, 25)
+    register(ContributorTag, 26)
+    register(PVSSContribution, 27)
+    register(PVSSTranscript, 28)
+    register(EvalShare, 29)
+    register(SignedVote, 30)
+    register(KeyTuple, 31)
+    register(SignatureShare, 32)
+    register(ThresholdSignature, 33)
+    register(Ciphertext, 34)
+    register(DecryptionShare, 35)
+    register(ScalarDealing, 36)
+    register(DecryptedShare, 37)
+    register(ShamirShare, 38)
+    # Protocol payloads.
+    register(BrachaVal, 64)
+    register(BrachaEcho, 65)
+    register(BrachaReady, 66)
+    register(CTVal, 67)
+    register(CTEcho, 68)
+    register(CTReady, 69)
+    register(PEDkgShare, 70)
+    register(PEEvalShare, 71)
+    register(Suggest, 72)
+    register(EchoMsg, 73)
+    register(KeyVoteMsg, 74)
+    register(LockVoteMsg, 75)
+    register(CommitMsg, 76)
+    register(BlameMsg, 77)
+    register(EquivocateMsg, 78)
+    register(ADKGShare, 79)
+    register(BVal, 80)
+    register(Aux, 81)
+    register(CoinShareMsg, 82)
+    register(Decided, 83)

@@ -20,20 +20,31 @@ from repro.net.envelope import Envelope
 class Metrics:
     words_total: int = 0
     messages_total: int = 0
+    bytes_total: int = 0
     words_by_layer: Counter = field(default_factory=Counter)
     messages_by_layer: Counter = field(default_factory=Counter)
     words_by_type: Counter = field(default_factory=Counter)
     messages_by_type: Counter = field(default_factory=Counter)
+    bytes_by_type: Counter = field(default_factory=Counter)
     max_depth: int = 0
     deliveries: int = 0
 
-    def record_send(self, envelope: Envelope) -> None:
+    def record_send(self, envelope: Envelope, nbytes: int | None = None) -> None:
+        """Record one network send.
+
+        ``nbytes`` is the envelope's wire size under the byte codec
+        (transport framing included); transports that do not encode to
+        bytes pass ``None`` and only the paper's word metric is kept.
+        """
         words = envelope.word_size()
         self.words_total += words
         self.messages_total += 1
         type_name = envelope.payload.type_name()
         self.words_by_type[type_name] += words
         self.messages_by_type[type_name] += 1
+        if nbytes is not None:
+            self.bytes_total += nbytes
+            self.bytes_by_type[type_name] += nbytes
         for part in envelope.path:
             layer = None
             if isinstance(part, str):
@@ -56,6 +67,7 @@ class Metrics:
         return {
             "words_total": self.words_total,
             "messages_total": self.messages_total,
+            "bytes_total": self.bytes_total,
             "max_depth": self.max_depth,
             "deliveries": self.deliveries,
             "words_by_layer": dict(self.words_by_layer),

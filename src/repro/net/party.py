@@ -133,7 +133,14 @@ class Party:
         self._outbox.append((path, recipient, payload))
 
     def collect_outbox(self) -> list[Envelope]:
-        """Drain queued sends into envelopes stamped with the causal depth."""
+        """Drain queued sends into envelopes stamped with the causal depth.
+
+        Only network envelopes advance the causal depth: a self-addressed
+        envelope is free local computation, so it carries the current
+        depth unchanged — otherwise chains of self-deliveries would
+        inflate the asynchronous round measure (``metrics.max_depth``)
+        past the paper's network-hop count.
+        """
         depth = self.current_depth + 1
         envelopes = [
             Envelope(
@@ -141,7 +148,7 @@ class Party:
                 sender=self.index,
                 recipient=recipient,
                 payload=payload,
-                depth=depth,
+                depth=depth if recipient != self.index else self.current_depth,
             )
             for path, recipient, payload in self._outbox
         ]

@@ -1,14 +1,19 @@
 """The deterministic discrete-event simulator.
 
-``Simulation`` owns the parties, the delay model, the (possibly
-adversarial) scheduler and the metrics.  Execution is an event loop over
-a priority queue of pending deliveries:
+``Simulation`` is the discrete-event :class:`~repro.net.transport.Transport`:
+it owns the delay model and the (possibly adversarial) scheduler, and
+executes the shared delivery pipeline over a priority queue of pending
+deliveries:
 
 1. pop the earliest envelope, deliver it to its recipient's party (which
    routes it, runs handlers and sweeps "upon" conditions);
 2. drain every party's outbox: self-addressed envelopes are delivered
    immediately (local computation — no words metered, no delay), network
    envelopes get a delay from the model/scheduler and are pushed.
+
+The outbox-draining, Byzantine-behavior and metrics logic lives in the
+shared :class:`~repro.net.transport.Transport` base; this class adds only
+simulated time.
 
 Determinism: all randomness flows from one master seed; ties in the queue
 break by insertion sequence.  The asynchronous model's eventual-delivery
@@ -19,21 +24,20 @@ from __future__ import annotations
 
 import heapq
 import itertools
-import random
 from typing import Any, Callable, Optional
+import random
 
 from repro.crypto.keys import TrustedSetup
 from repro.net.adversary import Behavior, Scheduler
 from repro.net.delays import DelayModel, UniformDelay
 from repro.net.envelope import Envelope
-from repro.net.metrics import Metrics
 from repro.net.party import Party
-from repro.net.protocol import Protocol
+from repro.net.transport import RootFactory, Transport
 
-RootFactory = Callable[[Party], Protocol]
+__all__ = ["Simulation", "RootFactory"]
 
 
-class Simulation:
+class Simulation(Transport):
     """An n-party protocol execution under simulated asynchrony."""
 
     def __init__(
@@ -43,58 +47,25 @@ class Simulation:
         scheduler: Optional[Scheduler] = None,
         behaviors: Optional[dict[int, Behavior]] = None,
         seed: int = 0,
+        measure_bytes: bool = False,
     ) -> None:
-        directory = setup.directory
-        self.setup = setup
-        self.n = directory.n
-        self.f = directory.f
+        super().__init__(
+            setup,
+            behaviors,
+            seed,
+            rng_namespace="simulation",
+            measure_bytes=measure_bytes,
+        )
         self.delay_model = delay_model or UniformDelay()
         self.scheduler = scheduler or Scheduler()
-        self.behaviors = dict(behaviors or {})
-        if len(self.behaviors) > self.f:
-            raise ValueError(
-                f"cannot corrupt {len(self.behaviors)} parties with f={self.f}"
-            )
-        self.metrics = Metrics()
         self.time = 0.0
         self.steps = 0
         self.output_times: dict[int, float] = {}
         self._seq = itertools.count()
         self._queue: list[tuple[float, int, Envelope]] = []
-        self._master_rng = random.Random(f"simulation-{seed}")
         self._net_rng = random.Random(f"simulation-net-{seed}")
-        self._adv_rng = random.Random(f"simulation-adv-{seed}")
-        self.parties = [
-            Party(
-                index=i,
-                n=self.n,
-                f=self.f,
-                rng=random.Random(f"party-{seed}-{i}"),
-                directory=directory,
-                secret=setup.secret(i),
-            )
-            for i in range(self.n)
-        ]
 
-    # -- setup -----------------------------------------------------------------------
-
-    @property
-    def corrupt(self) -> frozenset[int]:
-        return frozenset(self.behaviors)
-
-    @property
-    def honest(self) -> frozenset[int]:
-        return frozenset(range(self.n)) - self.corrupt
-
-    def start(self, root_factory: RootFactory) -> None:
-        """Install the root protocol at every party and flush initial sends."""
-        for party in self.parties:
-            party.run_root(root_factory(party))
-            party.sweep_conditions()
-        for party in self.parties:
-            self._flush_party(party)
-            if party.has_result:
-                self.output_times.setdefault(party.index, 0.0)
+    # -- timing ------------------------------------------------------------------------
 
     def honest_completion_time(self) -> float:
         """Time by which the last honest party produced its output."""
@@ -103,7 +74,7 @@ class Simulation:
             return float("nan")
         return max(times)
 
-    # -- event loop -------------------------------------------------------------------
+    # -- event loop --------------------------------------------------------------------
 
     def step(self) -> bool:
         """Deliver one envelope; returns False when the queue is empty."""
@@ -111,18 +82,8 @@ class Simulation:
             when, _, envelope = heapq.heappop(self._queue)
             self.time = max(self.time, when)
             self.steps += 1
-            behavior = self.behaviors.get(envelope.recipient)
-            if behavior is not None and not behavior.allow_delivery(
-                envelope, self._adv_rng
-            ):
-                continue
-            self.metrics.record_delivery(envelope)
-            recipient = self.parties[envelope.recipient]
-            recipient.deliver(envelope)
-            self._flush_party(recipient)
-            if recipient.has_result and recipient.index not in self.output_times:
-                self.output_times[recipient.index] = self.time
-            return True
+            if self._deliver_envelope(envelope):
+                return True
         return False
 
     def run(
@@ -141,51 +102,35 @@ class Simulation:
     def run_until_all_honest_output(self, max_steps: int = 5_000_000) -> None:
         self.run(
             max_steps=max_steps,
-            stop=lambda sim: all(
-                sim.parties[i].has_result for i in sim.honest
-            ),
+            stop=lambda sim: sim.all_honest_output(),
         )
 
-    # -- results ----------------------------------------------------------------------
+    def run_sync(
+        self, root_factory: RootFactory, timeout: float = 60.0
+    ) -> dict[int, Any]:
+        """Uniform blocking entry point (simulated time ignores ``timeout``)."""
+        del timeout  # bounded by the step limit, not wall-clock
+        self.start(root_factory)
+        self.run_until_all_honest_output()
+        return self.honest_results()
 
-    def honest_results(self) -> dict[int, Any]:
-        return {
-            i: self.parties[i].result
-            for i in sorted(self.honest)
-            if self.parties[i].has_result
-        }
+    def round_measure(self) -> float:
+        """Simulated time — the causal-chain length under ``FixedDelay``."""
+        return self.time
 
-    def all_honest_output(self) -> bool:
-        return all(self.parties[i].has_result for i in self.honest)
+    # -- transport hooks ---------------------------------------------------------------
 
-    # -- internals ----------------------------------------------------------------------
+    def _transmit(self, envelope: Envelope, frame: bytes | None) -> bool:
+        """Schedule a network envelope at a model/scheduler-chosen time."""
+        base = self.delay_model.delay(
+            self._net_rng, envelope.sender, envelope.recipient, self.time
+        )
+        delay = self.scheduler.schedule(self._adv_rng, envelope, base, self.time)
+        if delay <= 0:
+            raise RuntimeError("scheduler produced a non-positive delay")
+        heapq.heappush(self._queue, (self.time + delay, next(self._seq), envelope))
+        return True
 
-    def _flush_party(self, party: Party) -> None:
-        """Drain a party's outbox, applying behaviours and scheduling."""
-        pending = party.collect_outbox()
-        while pending:
-            envelope = pending.pop(0)
-            if envelope.recipient == envelope.sender:
-                # Local delivery: immediate, free, not subject to the
-                # outgoing Byzantine filter (it never hits the network).
-                self.metrics.record_delivery(envelope)
-                party.deliver(envelope)
-                pending.extend(party.collect_outbox())
-                continue
-            behavior = self.behaviors.get(envelope.sender)
-            outgoing = (
-                behavior.transform_outgoing(envelope, self._adv_rng)
-                if behavior is not None
-                else [envelope]
-            )
-            for env in outgoing:
-                self.metrics.record_send(env)
-                base = self.delay_model.delay(
-                    self._net_rng, env.sender, env.recipient, self.time
-                )
-                delay = self.scheduler.schedule(self._adv_rng, env, base, self.time)
-                if delay <= 0:
-                    raise RuntimeError("scheduler produced a non-positive delay")
-                heapq.heappush(
-                    self._queue, (self.time + delay, next(self._seq), env)
-                )
+    def _note_progress(self, party: Party) -> None:
+        if party.has_result and party.index not in self.output_times:
+            self.output_times[party.index] = self.time

@@ -1,0 +1,396 @@
+"""The pluggable Transport abstraction shared by every runtime.
+
+Historically the deterministic simulator and the asyncio runtime each
+carried their own copy of the delivery pipeline; this module extracts it.
+A :class:`Transport` owns the parties and the metrics and implements the
+one pipeline every runtime shares:
+
+* **outbox draining** (:meth:`Transport._flush_party`) — self-addressed
+  envelopes are delivered inline (local computation: no words, no bytes,
+  no delay), network envelopes pass through the sender's Byzantine
+  :class:`~repro.net.adversary.Behavior` transform, are metered (words
+  always, codec bytes when ``measure_bytes`` is on) and handed to the
+  subclass's :meth:`Transport._transmit`;
+* **delivery** (:meth:`Transport._deliver_envelope`) — the recipient's
+  behavior may swallow the message, otherwise the delivery is recorded,
+  routed into the party's protocol stack, the resulting outbox flushed,
+  and :meth:`Transport._note_progress` (done-detection hook) runs.
+
+Subclasses provide only *when and how* a transmitted envelope reaches
+:meth:`_deliver_envelope`:
+
+* :class:`~repro.net.runtime.Simulation` — a priority queue of simulated
+  delivery times (discrete-event, deterministic);
+* :class:`~repro.net.asyncio_runtime.AsyncioRuntime` — an asyncio task
+  per envelope with a real randomized sleep;
+* :class:`~repro.net.tcp_runtime.TCPRuntime` — codec-encoded frames over
+  real TCP stream connections.
+
+:func:`make_transport` is the single name-based injection point the CLI,
+the examples and the benchmarks use.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Any, Callable, Optional
+
+from repro.crypto.keys import TrustedSetup
+from repro.net import codec
+from repro.net.adversary import Behavior
+from repro.net.envelope import Envelope
+from repro.net.metrics import Metrics
+from repro.net.party import Party
+from repro.net.protocol import Protocol
+
+RootFactory = Callable[[Party], Protocol]
+
+TRANSPORT_KINDS = ("sim", "asyncio", "tcp")
+
+#: Bytes of transport framing per message (length-prefix the TCP runtime
+#: writes before each codec frame); counted for every transport so byte
+#: totals are comparable across them.
+FRAME_HEADER_BYTES = 4
+
+#: Upper bound on one frame, enforced symmetrically: the sender refuses
+#: to build a larger frame (honest: loud CodecError; forged: dropped),
+#: and the TCP receiver treats a larger length prefix as an attack.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+class Transport:
+    """Base class: parties, adversary, metrics and the delivery pipeline."""
+
+    #: Subclasses that put codec frames on a real wire set this True; the
+    #: pipeline then builds each frame exactly once, up front, and passes
+    #: it to :meth:`_transmit`.
+    frames_on_wire = False
+
+    def __init__(
+        self,
+        setup: TrustedSetup,
+        behaviors: Optional[dict[int, Behavior]] = None,
+        seed: int = 0,
+        *,
+        rng_namespace: str = "transport",
+        measure_bytes: bool = False,
+    ) -> None:
+        directory = setup.directory
+        self.setup = setup
+        self.n = directory.n
+        self.f = directory.f
+        self.behaviors = dict(behaviors or {})
+        if len(self.behaviors) > self.f:
+            raise ValueError(
+                f"cannot corrupt {len(self.behaviors)} parties with f={self.f}"
+            )
+        self.measure_bytes = measure_bytes
+        self.metrics = Metrics()
+        self.dropped_sends = 0
+        self.seed = seed
+        self._adv_rng = random.Random(f"{rng_namespace}-adv-{seed}")
+        # Party RNG streams are namespace-independent so that the same
+        # (seed, index) deals identical PVSS contributions on every
+        # transport — the cross-transport equivalence tests rely on it.
+        self.parties = [
+            Party(
+                index=i,
+                n=self.n,
+                f=self.f,
+                rng=random.Random(f"party-{seed}-{i}"),
+                directory=directory,
+                secret=setup.secret(i),
+            )
+            for i in range(self.n)
+        ]
+
+    # -- membership --------------------------------------------------------------------
+
+    @property
+    def corrupt(self) -> frozenset[int]:
+        return frozenset(self.behaviors)
+
+    @property
+    def honest(self) -> frozenset[int]:
+        return frozenset(range(self.n)) - self.corrupt
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def start(self, root_factory: RootFactory) -> None:
+        """Install the root protocol at every party and flush initial sends."""
+        for party in self.parties:
+            party.run_root(root_factory(party))
+            party.sweep_conditions()
+        for party in self.parties:
+            self._flush_party(party)
+            self._note_progress(party)
+
+    def run_sync(
+        self, root_factory: RootFactory, timeout: float = 60.0
+    ) -> dict[int, Any]:
+        """Run the protocol to all-honest-output and return honest results.
+
+        The uniform blocking entry point: callers of :func:`make_transport`
+        can drive any transport without knowing whether it is simulated or
+        realtime.
+        """
+        raise NotImplementedError
+
+    def round_measure(self) -> float:
+        """The transport's asynchronous-round measure for a finished run.
+
+        Realtime transports report the maximum causal depth; the
+        simulator overrides this with simulated time (which equals the
+        causal-chain length under ``FixedDelay``).
+        """
+        return float(self.metrics.max_depth)
+
+    # -- results -----------------------------------------------------------------------
+
+    def honest_results(self) -> dict[int, Any]:
+        return {
+            i: self.parties[i].result
+            for i in sorted(self.honest)
+            if self.parties[i].has_result
+        }
+
+    def all_honest_output(self) -> bool:
+        return all(self.parties[i].has_result for i in self.honest)
+
+    # -- the shared pipeline -----------------------------------------------------------
+
+    def _flush_party(self, party: Party) -> None:
+        """Drain a party's outbox, applying behaviours, metering, transmitting."""
+        pending = party.collect_outbox()
+        while pending:
+            envelope = pending.pop(0)
+            if envelope.recipient == envelope.sender:
+                # Local delivery: immediate, free, not subject to the
+                # outgoing Byzantine filter (it never hits the network).
+                self.metrics.record_delivery(envelope)
+                party.deliver(envelope)
+                pending.extend(party.collect_outbox())
+                continue
+            behavior = self.behaviors.get(envelope.sender)
+            outgoing = (
+                behavior.transform_outgoing(envelope, self._adv_rng)
+                if behavior is not None
+                else [envelope]
+            )
+            for env in outgoing:
+                # Carryability is a property of the wire, never of the
+                # metering flag: byte-metering an in-process transport must
+                # not change which messages arrive.
+                frame = None
+                if self.frames_on_wire:
+                    try:
+                        frame = self._frame(env)
+                    except codec.CodecError:
+                        if behavior is None:
+                            # An honest party produced an unencodable
+                            # payload: a programming error, fail loudly.
+                            raise
+                        # A Byzantine transform forged garbage the codec
+                        # cannot carry — the wire drops it *before*
+                        # transmission; honest parties live on.
+                        self.dropped_sends += 1
+                        continue
+                if not self._transmit(env, frame):
+                    self.dropped_sends += 1
+                    continue
+                nbytes = (
+                    len(frame)
+                    if frame is not None
+                    else self._measured_bytes(env, forged=behavior is not None)
+                )
+                self.metrics.record_send(env, nbytes=nbytes)
+
+    def _deliver_envelope(self, envelope: Envelope) -> bool:
+        """Deliver one in-flight envelope; False if the adversary ate it."""
+        behavior = self.behaviors.get(envelope.recipient)
+        if behavior is not None and not behavior.allow_delivery(
+            envelope, self._adv_rng
+        ):
+            return False
+        self.metrics.record_delivery(envelope)
+        recipient = self.parties[envelope.recipient]
+        recipient.deliver(envelope)
+        self._flush_party(recipient)
+        self._note_progress(recipient)
+        return True
+
+    def _frame(self, envelope: Envelope) -> bytes:
+        """The envelope's wire frame: length prefix + codec bytes."""
+        body = codec.encode_envelope(envelope)
+        if len(body) > MAX_FRAME_BYTES:
+            raise codec.CodecError(
+                f"envelope frame of {len(body)} bytes exceeds the "
+                f"{MAX_FRAME_BYTES}-byte wire bound"
+            )
+        return len(body).to_bytes(FRAME_HEADER_BYTES, "big") + body
+
+    def _measured_bytes(self, envelope: Envelope, forged: bool) -> Optional[int]:
+        """Observational byte metric for in-process transports.
+
+        Returns ``None`` when metering is off — or for a Byzantine-forged
+        payload the codec cannot size (words are still metered; execution
+        is identical either way).  Honest unencodable payloads still fail
+        loudly so a missing codec registration is caught before the code
+        ever meets a real wire.
+        """
+        if not self.measure_bytes:
+            return None
+        try:
+            return FRAME_HEADER_BYTES + codec.encoded_size(envelope)
+        except codec.CodecError:
+            if not forged:
+                raise
+            return None
+
+    # -- subclass hooks ----------------------------------------------------------------
+
+    def _transmit(self, envelope: Envelope, frame: Optional[bytes]) -> bool:
+        """Put one network envelope in flight (subclass-specific).
+
+        ``frame`` is the pre-built wire frame when ``frames_on_wire`` or
+        byte metering require one, else ``None``.  Returns False when the
+        transport could not carry the envelope (counted as a dropped
+        send, not metered).
+        """
+        raise NotImplementedError
+
+    def _note_progress(self, party: Party) -> None:
+        """Called after a party processed events (done-detection hook)."""
+
+
+class RealtimeTransport(Transport):
+    """Shared machinery for runtimes hosted on a live asyncio event loop.
+
+    Subclasses implement :meth:`Transport._transmit`; delivery must call
+    :meth:`Transport._deliver_envelope` from the event loop.  ``run``
+    starts every party, waits until all honest parties produced output
+    (or raises :class:`asyncio.TimeoutError`) and returns the honest
+    results.
+    """
+
+    def __init__(
+        self,
+        setup: TrustedSetup,
+        behaviors: Optional[dict[int, Behavior]] = None,
+        seed: int = 0,
+        *,
+        rng_namespace: str = "realtime",
+        measure_bytes: bool = False,
+    ) -> None:
+        super().__init__(
+            setup,
+            behaviors,
+            seed,
+            rng_namespace=rng_namespace,
+            measure_bytes=measure_bytes,
+        )
+        self._tasks: set[asyncio.Task] = set()
+        self._all_output = asyncio.Event()
+        self._failure: Optional[BaseException] = None
+
+    async def run(
+        self, root_factory: RootFactory, timeout: float = 60.0
+    ) -> dict[int, Any]:
+        """Start every party; return honest outputs (raises on timeout).
+
+        ``timeout`` budgets transport setup (``_open``) *and* the wait
+        for agreement together; only the synchronous per-party dealing in
+        ``start()`` is outside it (CPU-bound crypto is not preemptible).
+        An exception escaping any background task (a protocol handler
+        bug, a codec error on the send path, ...) aborts the run and is
+        re-raised here instead of surfacing as an opaque timeout.
+        """
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        try:
+            # _open() and start() sit inside the one cleanup scope: a
+            # partial open (one of n*(n-1) connections refused) or a
+            # loudly-failing start (honest unencodable payload) must
+            # still cancel every already-spawned task and close sockets.
+            await asyncio.wait_for(self._open(), timeout=timeout)
+            self.start(root_factory)
+            if not self._all_output.is_set():
+                remaining = max(0.001, deadline - loop.time())
+                await asyncio.wait_for(self._all_output.wait(), timeout=remaining)
+        finally:
+            for task in list(self._tasks):
+                task.cancel()
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+            await self._close()
+        # A failure recorded during post-success teardown (e.g. a pump hit
+        # a reset from a peer already shutting down) does not invalidate a
+        # run whose honest parties all produced output.
+        if self._failure is not None and not self.all_honest_output():
+            raise self._failure
+        return self.honest_results()
+
+    def run_sync(
+        self, root_factory: RootFactory, timeout: float = 60.0
+    ) -> dict[int, Any]:
+        """Blocking wrapper over :meth:`run` (needs no running event loop)."""
+        return asyncio.run(self.run(root_factory, timeout=timeout))
+
+    def _spawn(self, coro) -> asyncio.Task:
+        """Track a background task for cancellation and error propagation."""
+        task = asyncio.ensure_future(coro)
+        self._tasks.add(task)
+        task.add_done_callback(self._on_task_done)
+        return task
+
+    def _on_task_done(self, task: asyncio.Task) -> None:
+        self._tasks.discard(task)
+        if task.cancelled():
+            return
+        exc = task.exception()
+        if exc is not None and self._failure is None:
+            self._failure = exc
+            self._all_output.set()  # wake run() so it can re-raise
+
+    def _note_progress(self, party: Party) -> None:
+        if self.all_honest_output():
+            self._all_output.set()
+
+    # -- subclass hooks ----------------------------------------------------------------
+
+    async def _open(self) -> None:
+        """Bring up transport resources (sockets, ...) before parties start."""
+
+    async def _close(self) -> None:
+        """Tear down transport resources after the run finished."""
+
+
+def make_transport(
+    kind: str,
+    setup: TrustedSetup,
+    *,
+    behaviors: Optional[dict[int, Behavior]] = None,
+    seed: int = 0,
+    **kwargs: Any,
+) -> Transport:
+    """Build a transport by name: ``"sim"``, ``"asyncio"`` or ``"tcp"``.
+
+    Extra keyword arguments are forwarded to the selected runtime
+    (e.g. ``delay_model=``/``scheduler=`` for ``sim``, ``max_delay=`` for
+    ``asyncio``, ``host=`` for ``tcp``).
+    """
+    if kind == "sim":
+        from repro.net.runtime import Simulation
+
+        return Simulation(setup, behaviors=behaviors, seed=seed, **kwargs)
+    if kind == "asyncio":
+        from repro.net.asyncio_runtime import AsyncioRuntime
+
+        return AsyncioRuntime(setup, behaviors=behaviors, seed=seed, **kwargs)
+    if kind == "tcp":
+        from repro.net.tcp_runtime import TCPRuntime
+
+        return TCPRuntime(setup, behaviors=behaviors, seed=seed, **kwargs)
+    raise ValueError(
+        f"unknown transport kind {kind!r}; choose from {TRANSPORT_KINDS}"
+    )

@@ -2,6 +2,7 @@
 
 from dataclasses import dataclass
 
+from repro.net import codec
 from repro.net.payload import Payload
 from repro.net.protocol import Protocol
 
@@ -17,6 +18,12 @@ class Blob(Payload):
 
     def word_size(self) -> int:
         return len(self.data)
+
+
+# Test-only codec ids live at >= 9000 (see repro.net.codec) so the TCP
+# runtime can carry these payloads across real sockets.
+codec.register(Ping, 9001)
+codec.register(Blob, 9002)
 
 
 class PingPong(Protocol):

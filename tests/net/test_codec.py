@@ -1,0 +1,386 @@
+"""The registry byte codec: round-trips, determinism, malformed rejection."""
+
+import random
+
+import pytest
+
+from repro.broadcast.bracha import BrachaEcho, BrachaReady, BrachaVal
+from repro.broadcast.ct_rbc import CTEcho, CTReady, CTVal
+from repro.baselines.aba import Aux, BVal, CoinShareMsg, Decided
+from repro.core.adkg import ADKGShare
+from repro.core import certificates as certs
+from repro.core.certificates import KeyTuple, SignedVote
+from repro.core.nwh import (
+    BlameMsg,
+    CommitMsg,
+    EchoMsg,
+    EquivocateMsg,
+    KeyVoteMsg,
+    LockVoteMsg,
+    Suggest,
+)
+from repro.core.proposal_election import PEDkgShare, PEEvalShare
+from repro.crypto import nizk, pvss, scalar_pvss, schnorr, shamir
+from repro.crypto import threshold_enc as tenc
+from repro.crypto import threshold_sig as tsig
+from repro.crypto import threshold_vrf as tvrf
+from repro.crypto.keys import TrustedSetup
+from repro.crypto.kzg import KZGOpening, KZGSetup
+from repro.crypto.merkle import MerkleProof, MerkleTree
+from repro.crypto.pairing import GroupElement
+from repro.net import codec
+from repro.net.envelope import Envelope
+from repro.net.payload import Payload
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return TrustedSetup.generate(4, seed=11)
+
+
+@pytest.fixture(scope="module")
+def transcript(setup):
+    contributions = [
+        pvss.deal(setup.directory, setup.secret(i), random.Random(f"codec-{i}"))
+        for i in range(3)
+    ]
+    return pvss.aggregate(setup.directory, contributions)
+
+
+def roundtrip(value):
+    encoded = codec.encode(value)
+    decoded = codec.decode(encoded)
+    assert decoded == value
+    assert type(decoded) is type(value)
+    # Determinism: equal values encode to equal bytes.
+    assert codec.encode(decoded) == encoded
+    return encoded
+
+
+# -- primitives ------------------------------------------------------------------------
+
+
+def test_primitive_roundtrips():
+    for value in (
+        None,
+        True,
+        False,
+        0,
+        -1,
+        7,
+        1 << 300,
+        -(1 << 300),
+        b"",
+        b"\x00\xffraw",
+        "",
+        "unicode ☃",
+        (),
+        (1, "x", (b"y", None)),
+        [],
+        [1, [2, 3]],
+        frozenset({1, 2, 3}),
+        set(),
+        {"a": (1, 2), 3: b"v"},
+        {},
+        1.5,
+        -0.25,
+    ):
+        roundtrip(value)
+
+
+def test_int_bound_is_symmetric():
+    """Whatever encode accepts, decode accepts — and vice versa."""
+    roundtrip(1 << 4000)  # far above the 256-bit STANDARD params
+    roundtrip(-(1 << 4000))
+    with pytest.raises(codec.CodecError):
+        codec.encode(1 << 4200)  # over the wire bound: refused at the sender
+    # A hand-crafted varint just over the bound is refused at the receiver
+    # too — otherwise honest parties could receive ints they cannot re-send.
+    zigzagged = (1 << 4098) << 1
+    crafted = bytearray([0x03])
+    while True:
+        byte = zigzagged & 0x7F
+        zigzagged >>= 7
+        crafted.append(byte | 0x80 if zigzagged else byte)
+        if not zigzagged:
+            break
+    with pytest.raises(codec.CodecError):
+        codec.decode(bytes(crafted))
+
+
+def test_int_is_not_confused_with_bool():
+    assert codec.decode(codec.encode(1)) == 1
+    assert codec.decode(codec.encode(1)) is not True
+    assert codec.decode(codec.encode(True)) is True
+
+
+def test_set_and_dict_encodings_are_order_independent():
+    assert codec.encode({1, 2, 3}) == codec.encode({3, 1, 2})
+    assert codec.encode({"a": 1, "b": 2}) == codec.encode({"b": 2, "a": 1})
+
+
+# -- every registered type -------------------------------------------------------------
+
+
+def _sample_values(setup, transcript):
+    directory = setup.directory
+    secret = setup.secret(0)
+    rng = random.Random("codec-samples")
+    group = directory.pair_group
+    contribution = pvss.deal(directory, secret, random.Random("codec-c"))
+    eval_share = tvrf.EvalSh(directory, secret, transcript, ("m", 1))
+    vote = certs.make_vote(directory, secret, certs.KIND_ECHO, "v", 1)
+    key_tuple = KeyTuple(1, "value", (vote,))
+    tree = MerkleTree([b"a", b"b", b"c"])
+    kzg = KZGSetup.from_seed(group, 4, "codec-test")
+    dealing = scalar_pvss.deal(
+        directory.sign_group, 0, directory.sign_pks, directory.f, rng
+    )
+    ciphertext = tenc.encrypt(directory, transcript, b"msg", rng)
+    samples = {
+        Envelope: Envelope(
+            path=("nwh", ("pe", 1), "gather"),
+            sender=0,
+            recipient=2,
+            payload=Suggest(key=key_tuple, view=2),
+            depth=3,
+        ),
+        GroupElement: group.exp(group.g, 12345),
+        schnorr.Signature: schnorr.sign(
+            directory.sign_group, secret.sign, "codec", 1
+        ),
+        nizk.DlogProof: nizk.prove_dlog(
+            group, group.g, group.exp(group.g, 5), 5, rng
+        ),
+        nizk.DleqProof: nizk.prove_dleq(
+            group,
+            group.g,
+            group.exp(group.g, 5),
+            group.exp(group.g, 7),
+            group.exp(group.g, 35),
+            5,
+            rng,
+        ),
+        MerkleProof: tree.prove(1),
+        KZGOpening: kzg.open_at([1, 2, 3], 0),
+        pvss.ContributorTag: contribution.tag,
+        pvss.PVSSContribution: contribution,
+        pvss.PVSSTranscript: transcript,
+        tvrf.EvalShare: eval_share,
+        SignedVote: vote,
+        KeyTuple: key_tuple,
+        tsig.SignatureShare: tsig.sign_share(directory, secret, transcript, "m"),
+        tsig.ThresholdSignature: tsig.ThresholdSignature(
+            value=group.pair(group.g, group.g)
+        ),
+        tenc.Ciphertext: ciphertext,
+        tenc.DecryptionShare: tenc.decryption_share(
+            directory, secret, transcript, ciphertext
+        ),
+        scalar_pvss.ScalarDealing: dealing,
+        scalar_pvss.DecryptedShare: scalar_pvss.decrypt_share(
+            directory.sign_group, dealing, 0, secret.sign.sk, rng
+        ),
+        shamir.ShamirShare: shamir.ShamirShare(x=1, y=42),
+        BrachaVal: BrachaVal(value=("x", 1)),
+        BrachaEcho: BrachaEcho(value=frozenset({0, 1, 2})),
+        BrachaReady: BrachaReady(value=key_tuple),
+        CTVal: CTVal(root=tree.root, fragment=b"frag", proof=tree.prove(0), claim_words=9, k=2),
+        CTEcho: CTEcho(root=tree.root, fragment=b"frag", proof=tree.prove(0), claim_words=9, k=2),
+        CTReady: CTReady(root=tree.root),
+        PEDkgShare: PEDkgShare(contribution=contribution),
+        PEEvalShare: PEEvalShare(k=1, share=eval_share),
+        Suggest: Suggest(key=key_tuple, view=1),
+        EchoMsg: EchoMsg(
+            key=key_tuple, election_proof=frozenset({0, 1, 2}), vote=vote, view=1
+        ),
+        KeyVoteMsg: KeyVoteMsg(value="v", proof=(vote,), vote=vote, view=1),
+        LockVoteMsg: LockVoteMsg(value="v", proof=(vote,), vote=vote, view=1),
+        CommitMsg: CommitMsg(value="v", proof=(vote,), view=1),
+        BlameMsg: BlameMsg(
+            key=key_tuple,
+            election_proof=frozenset({0, 1, 2}),
+            lock_view=0,
+            lock_value="v",
+            lock_proof=None,
+            view=1,
+        ),
+        EquivocateMsg: EquivocateMsg(
+            key_a=key_tuple,
+            proof_a=frozenset({0, 1, 2}),
+            key_b=KeyTuple(0, "w", None),
+            proof_b=frozenset({1, 2, 3}),
+            view=1,
+        ),
+        ADKGShare: ADKGShare(contribution=contribution),
+        BVal: BVal(round_no=1, bit=0),
+        Aux: Aux(round_no=1, bit=1),
+        CoinShareMsg: CoinShareMsg(round_no=1, share=eval_share),
+        Decided: Decided(bit=1),
+    }
+    return samples
+
+
+def test_every_registered_repo_type_roundtrips(setup, transcript):
+    samples = _sample_values(setup, transcript)
+    repo_types = {
+        cls for cls, type_id in codec.registered_types().items() if type_id < 9000
+    }
+    missing = repo_types - set(samples)
+    assert not missing, f"no codec sample for registered types: {missing}"
+    for cls, value in samples.items():
+        assert type(value) is cls
+        roundtrip(value)
+
+
+def test_registered_payloads_cover_all_protocol_payloads(setup, transcript):
+    """Every concrete Payload subclass in the repo must be registered."""
+    registered = set(codec.registered_types())
+
+    def walk(cls):
+        for sub in cls.__subclasses__():
+            yield sub
+            yield from walk(sub)
+
+    repo_payloads = {
+        cls
+        for cls in walk(Payload)
+        if cls.__module__.startswith("repro.")
+    }
+    unregistered = repo_payloads - registered
+    assert not unregistered, f"payloads missing codec registration: {unregistered}"
+
+
+def test_envelope_helpers_validate(setup, transcript):
+    env = _sample_values(setup, transcript)[Envelope]
+    assert codec.decode_envelope(codec.encode_envelope(env)) == env
+    assert codec.encoded_size(env) == len(codec.encode(env))
+    # A non-envelope value is rejected even though it decodes fine.
+    with pytest.raises(codec.CodecError):
+        codec.decode_envelope(codec.encode((1, 2, 3)))
+    # An envelope whose payload is not a Payload is rejected.
+    bogus = Envelope(path=(), sender=0, recipient=1, payload="nope", depth=1)
+    with pytest.raises(codec.CodecError):
+        codec.decode_envelope(codec.encode(bogus))
+
+
+# -- malformed input -------------------------------------------------------------------
+
+
+def test_truncations_never_crash(setup, transcript):
+    for value in (_sample_values(setup, transcript)[pvss.PVSSContribution], (1, "x"), {1: 2}):
+        encoded = codec.encode(value)
+        for cut in range(len(encoded)):
+            with pytest.raises(codec.CodecError):
+                codec.decode(encoded[:cut])
+
+
+def test_trailing_bytes_rejected():
+    with pytest.raises(codec.CodecError):
+        codec.decode(codec.encode(1) + b"\x00")
+
+
+def test_unknown_tag_rejected():
+    with pytest.raises(codec.CodecError):
+        codec.decode(b"\xfe")
+
+
+def test_unknown_type_id_rejected():
+    out = bytearray([0x10])
+    out.extend(b"\xbb\x06")  # varint 863: unregistered id
+    out.append(0)
+    with pytest.raises(codec.CodecError):
+        codec.decode(bytes(out))
+
+
+def test_field_count_mismatch_rejected():
+    encoded = bytearray(codec.encode(Decided(bit=1)))
+    # struct tag, type id varint, then the field count byte: patch it.
+    assert encoded[0] == 0x10
+    pos = 1
+    while encoded[pos] & 0x80:
+        pos += 1
+    pos += 1
+    encoded[pos] += 1
+    with pytest.raises(codec.CodecError):
+        codec.decode(bytes(encoded))
+
+
+def test_invalid_utf8_rejected():
+    with pytest.raises(codec.CodecError):
+        codec.decode(b"\x05\x02\xff\xfe")
+
+
+def test_huge_length_claims_rejected():
+    # bytes tag claiming 2**30 bytes with nothing behind it
+    with pytest.raises(codec.CodecError):
+        codec.decode(b"\x04\x80\x80\x80\x80\x04")
+    # tuple tag claiming a billion items
+    with pytest.raises(codec.CodecError):
+        codec.decode(b"\x06\x80\x80\x80\x80\x04")
+
+
+def test_deep_nesting_rejected():
+    data = b"\x06\x01" * 100 + b"\x00"  # 100 nested 1-tuples
+    with pytest.raises(codec.CodecError):
+        codec.decode(data)
+
+
+def test_duplicate_set_members_rejected():
+    one = codec.encode(1)
+    data = bytes([0x08, 2]) + one + one
+    with pytest.raises(codec.CodecError):
+        codec.decode(data)
+
+
+def test_wrong_typed_struct_fields_rejected():
+    """Attacker-crafted field values of the wrong type must fail closed."""
+    for forged in (
+        Decided(bit="not-an-int"),
+        Suggest(key=None, view=b"bytes-not-int"),
+        CTReady(root=b"ok-any-field"),  # control: Any fields stay open
+    ):
+        encoded = codec.encode(forged)
+        if isinstance(forged, CTReady):
+            assert codec.decode(encoded) == forged
+        else:
+            with pytest.raises(codec.CodecError):
+                codec.decode(encoded)
+
+
+def test_union_annotated_fields_are_unchecked():
+    """PEP-604 unions admit several types; the decoder must not pin one."""
+    from dataclasses import dataclass
+
+    @dataclass(frozen=True)
+    class MaybeTuple(Payload):
+        items: "tuple[int, ...] | None"
+
+    codec.register(MaybeTuple, 9100)
+    roundtrip(MaybeTuple(items=None))
+    roundtrip(MaybeTuple(items=(1, 2)))
+
+
+def test_unhashable_envelope_path_rejected():
+    env = Envelope(
+        path=(["not", "hashable"],),
+        sender=0,
+        recipient=1,
+        payload=Decided(bit=1),
+        depth=1,
+    )
+    encoded = codec.encode(env)
+    with pytest.raises(codec.CodecError):
+        codec.decode_envelope(encoded)
+
+
+def test_unencodable_type_raises():
+    with pytest.raises(codec.CodecError):
+        codec.encode(object())
+
+
+def test_register_rejects_id_collisions():
+    from repro.core.adkg import ADKGShare as A
+
+    with pytest.raises(ValueError):
+        codec.register(Decided, codec.registered_types()[A])

@@ -1,0 +1,353 @@
+"""The shared Transport base and the TCP socket runtime."""
+
+import asyncio
+
+import pytest
+
+from repro import run_adkg
+from repro.core.adkg import ADKG
+from repro.crypto import threshold_vrf as tvrf
+from repro.crypto.keys import TrustedSetup
+from repro.net import codec
+from repro.net.adversary import SilentBehavior
+from repro.net.asyncio_runtime import AsyncioRuntime
+from repro.net.envelope import Envelope
+from repro.net.runtime import Simulation
+from repro.net.tcp_runtime import TCPRuntime
+from repro.net.transport import Transport, make_transport
+
+from tests.net.helpers import EchoAll, Ping, PingPong
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+# -- one shared pipeline ---------------------------------------------------------------
+
+
+def test_runtimes_share_one_pipeline():
+    """Flush/behavior/metrics logic exists once, on the Transport base."""
+    for runtime in (Simulation, AsyncioRuntime, TCPRuntime):
+        assert issubclass(runtime, Transport)
+        assert "_flush_party" not in runtime.__dict__
+        assert "_deliver_envelope" not in runtime.__dict__
+        assert runtime._flush_party is Transport._flush_party
+        assert runtime._deliver_envelope is Transport._deliver_envelope
+
+
+def test_make_transport_factory():
+    setup = TrustedSetup.generate(4, seed=1)
+    assert isinstance(make_transport("sim", setup), Simulation)
+    assert isinstance(make_transport("asyncio", setup), AsyncioRuntime)
+    assert isinstance(make_transport("tcp", setup), TCPRuntime)
+    with pytest.raises(ValueError):
+        make_transport("carrier-pigeon", setup)
+    # TCP always meters bytes; asking it not to is refused, not ignored.
+    with pytest.raises(ValueError):
+        make_transport("tcp", setup, measure_bytes=False)
+
+
+def test_word_and_byte_metrics_agree_across_transports():
+    """The same protocol costs the same words *and* codec bytes everywhere."""
+    totals = {}
+    for kind in ("sim", "asyncio", "tcp"):
+        setup = TrustedSetup.generate(4, seed=6)
+        kwargs = {"measure_bytes": True} if kind != "tcp" else {}
+        transport = make_transport(kind, setup, seed=6, **kwargs)
+        if kind == "sim":
+            transport.start(lambda party: EchoAll())
+            transport.run()
+        else:
+            _run(transport.run(lambda party: EchoAll(), timeout=10))
+        totals[kind] = (
+            transport.metrics.messages_total,
+            transport.metrics.words_total,
+            transport.metrics.bytes_total,
+        )
+    assert totals["sim"] == totals["asyncio"] == totals["tcp"]
+    messages, words, nbytes = totals["sim"]
+    assert messages == 4 * 3
+    assert words == 4 * 3 * 2
+    assert nbytes > 0
+
+
+def test_too_many_corruptions_rejected_everywhere():
+    setup = TrustedSetup.generate(4, seed=1)
+    for kind in ("sim", "asyncio", "tcp"):
+        with pytest.raises(ValueError):
+            make_transport(
+                kind,
+                setup,
+                behaviors={1: SilentBehavior(), 2: SilentBehavior()},
+            )
+
+
+# -- the TCP runtime -------------------------------------------------------------------
+
+
+def test_ping_pong_over_tcp():
+    setup = TrustedSetup.generate(4, seed=1)
+    runtime = TCPRuntime(setup, seed=1)
+    results = _run(runtime.run(lambda party: PingPong(rounds=3), timeout=30))
+    assert results[0] == 3
+    assert results[1] == 3
+    assert runtime.rejected_frames == 0
+
+
+def test_echo_all_over_tcp():
+    setup = TrustedSetup.generate(4, seed=2)
+    runtime = TCPRuntime(setup, seed=2)
+    results = _run(runtime.run(lambda party: EchoAll(), timeout=30))
+    assert all(value == frozenset(range(4)) for value in results.values())
+    assert runtime.metrics.bytes_total > 0
+
+
+def test_silent_behavior_starves_tcp_echo_all():
+    setup = TrustedSetup.generate(4, seed=3)
+    runtime = TCPRuntime(setup, behaviors={3: SilentBehavior()}, seed=3)
+    with pytest.raises(asyncio.TimeoutError):
+        _run(runtime.run(lambda party: EchoAll(), timeout=0.5))
+
+
+def test_malformed_frames_are_dropped_not_delivered():
+    setup = TrustedSetup.generate(4, seed=9)
+    runtime = TCPRuntime(setup, seed=9)
+
+    async def scenario():
+        await runtime._open()
+        try:
+            _reader, writer = await asyncio.open_connection(
+                runtime.host, runtime.ports[0]
+            )
+            # Codec garbage...
+            writer.write((3).to_bytes(4, "big") + b"\xfe\xfe\xfe")
+            # ...a well-formed envelope addressed to the wrong party...
+            env = Envelope(
+                path=(), sender=1, recipient=2, payload=Ping(1), depth=1
+            )
+            frame = codec.encode_envelope(env)
+            writer.write(len(frame).to_bytes(4, "big") + frame)
+            # ...one with an out-of-range (impersonation-proof) sender...
+            bad_sender = Envelope(
+                path=(), sender=999, recipient=0, payload=Ping(1), depth=1
+            )
+            frame2 = codec.encode_envelope(bad_sender)
+            writer.write(len(frame2).to_bytes(4, "big") + frame2)
+            # ...one whose path would crash the instance-table lookup...
+            bad_path = Envelope(
+                path=(["x"],), sender=1, recipient=0, payload=Ping(1), depth=1
+            )
+            frame3 = codec.encode_envelope(bad_path)
+            writer.write(len(frame3).to_bytes(4, "big") + frame3)
+            # ...and one whose payload field type would crash handlers.
+            bad_field = Envelope(
+                path=(), sender=1, recipient=0, payload=Ping({"a": 1}), depth=1
+            )
+            frame4 = codec.encode_envelope(bad_field)
+            writer.write(len(frame4).to_bytes(4, "big") + frame4)
+            await writer.drain()
+            await asyncio.sleep(0.2)
+            writer.close()
+        finally:
+            for task in runtime._tasks:
+                task.cancel()
+            await asyncio.gather(*runtime._tasks, return_exceptions=True)
+            await runtime._close()
+
+    _run(scenario())
+    assert runtime.rejected_frames == 5
+    assert runtime.metrics.deliveries == 0
+
+
+def test_adkg_over_tcp_matches_simulator_transcript():
+    """Acceptance: same seed, same agreed transcript as the simulator.
+
+    With ``f=0`` every party aggregates all ``n`` (seeded, deterministic)
+    contributions, so the agreed transcript is schedule-independent and
+    must be byte-identical to the simulator's for the same seed.
+    """
+    n, seed = 4, 7
+    sim_result = run_adkg(n=n, f=0, seed=seed)
+    setup = TrustedSetup.generate(n, f=0, seed=seed)
+    runtime = TCPRuntime(setup, seed=seed)
+    results = _run(runtime.run(lambda party: ADKG(), timeout=60))
+    transcripts = list(results.values())
+    assert all(t == transcripts[0] for t in transcripts)
+    assert transcripts[0] == sim_result.transcript
+    assert runtime.rejected_frames == 0
+    assert runtime.metrics.bytes_total > 0
+
+
+def test_adkg_over_tcp_with_faults_agrees_and_verifies():
+    n, seed = 4, 1
+    setup = TrustedSetup.generate(n, seed=seed)
+    runtime = TCPRuntime(setup, seed=seed)
+    results = _run(runtime.run(lambda party: ADKG(), timeout=60))
+    transcripts = list(results.values())
+    assert len(transcripts) == n
+    assert all(t == transcripts[0] for t in transcripts)
+    assert tvrf.DKGVerify(setup.directory, transcripts[0])
+
+
+def test_background_task_errors_propagate_not_timeout():
+    """A protocol bug must surface as the real exception, not a timeout."""
+    from repro.net.protocol import Protocol
+
+    class Exploder(Protocol):
+        def on_start(self):
+            self.multicast(Ping(self.me))
+
+        def on_message(self, sender, payload):
+            raise RuntimeError("handler bug")
+
+    for kind in ("asyncio", "tcp"):
+        setup = TrustedSetup.generate(4, seed=4)
+        runtime = make_transport(kind, setup, seed=4)
+        with pytest.raises(RuntimeError, match="handler bug"):
+            _run(runtime.run(lambda party: Exploder(), timeout=5))
+
+
+def test_forged_unencodable_payload_is_dropped_not_fatal():
+    """A Byzantine transform producing codec garbage must not kill the run."""
+    from dataclasses import dataclass
+
+    from repro.net.adversary import MutateBehavior
+    from repro.net.payload import Payload
+
+    @dataclass(frozen=True)
+    class Unregistered(Payload):
+        junk: int
+
+    setup = TrustedSetup.generate(4, seed=5)
+    runtime = TCPRuntime(
+        setup,
+        behaviors={3: MutateBehavior(lambda p, recipient, rng: Unregistered(1))},
+        seed=5,
+    )
+    # The forged messages vanish on the wire, so the corrupted party is
+    # effectively silent: EchoAll (which waits for all n) starves and the
+    # run times out — it must NOT die with a CodecError.
+    with pytest.raises(asyncio.TimeoutError):
+        _run(runtime.run(lambda party: EchoAll(), timeout=0.5))
+    assert runtime.dropped_sends == 3
+
+
+def test_byte_metering_is_observational_on_in_process_transports():
+    """measure_bytes must never change which messages arrive on sim.
+
+    The in-process simulator passes objects by reference, so even a
+    Byzantine-forged unregistered payload is carryable there (only a real
+    wire drops it); turning byte metering on may not alter execution — it
+    just meters that payload's bytes as unknown.
+    """
+    from dataclasses import dataclass
+
+    from repro.net.adversary import MutateBehavior
+    from repro.net.payload import Payload
+
+    @dataclass(frozen=True)
+    class Unregistered2(Payload):
+        junk: int
+
+    outcomes = []
+    for measure in (False, True):
+        setup = TrustedSetup.generate(4, seed=5)
+        sim = Simulation(
+            setup,
+            behaviors={3: MutateBehavior(lambda p, r, rng: Unregistered2(1))},
+            seed=5,
+            measure_bytes=measure,
+        )
+        sim.start(lambda party: EchoAll())
+        sim.run()
+        outcomes.append(
+            (
+                sim.metrics.messages_total,
+                sim.metrics.words_total,
+                sim.dropped_sends,
+                [sim.parties[i].instance(()).seen for i in range(4)],
+            )
+        )
+    assert outcomes[0] == outcomes[1]
+    messages, _words, dropped, seen = outcomes[0]
+    assert messages == 4 * 3
+    assert dropped == 0
+    assert all(s == {0, 1, 2, 3} for s in seen)
+
+
+def test_oversized_frame_refused_at_sender(monkeypatch):
+    """The frame bound is enforced at build time, not just at the receiver."""
+    import repro.net.transport as transport_mod
+    from tests.net.helpers import Blob
+
+    monkeypatch.setattr(transport_mod, "MAX_FRAME_BYTES", 64)
+    setup = TrustedSetup.generate(4, seed=1)
+    runtime = TCPRuntime(setup, seed=1)
+    small = Envelope(path=(), sender=0, recipient=1, payload=Ping(1), depth=1)
+    assert runtime._frame(small)
+    big = Envelope(
+        path=(), sender=0, recipient=1, payload=Blob(data=tuple(range(64))), depth=1
+    )
+    with pytest.raises(codec.CodecError):
+        runtime._frame(big)
+
+
+def test_partial_open_failure_cleans_up_tasks_and_servers():
+    """A mid-_open connect failure must cancel pumps and close servers."""
+    setup = TrustedSetup.generate(4, seed=6)
+    runtime = TCPRuntime(setup, seed=6)
+    orig_open = runtime._open
+
+    async def failing_open():
+        await orig_open()  # everything opened, tasks spawned...
+        raise ConnectionRefusedError("simulated connect failure mid-open")
+
+    runtime._open = failing_open
+    with pytest.raises(ConnectionRefusedError):
+        _run(runtime.run(lambda party: EchoAll(), timeout=5))
+    assert not runtime._tasks
+    assert not runtime._servers
+
+
+def test_honest_unencodable_payload_fails_loudly_without_leaking_tasks():
+    """An honest unregistered payload raises at start; no tasks leak."""
+    from dataclasses import dataclass
+
+    from repro.net.payload import Payload
+    from repro.net.protocol import Protocol
+
+    @dataclass(frozen=True)
+    class NotRegistered(Payload):
+        x: int
+
+    class BadRoot(Protocol):
+        def on_start(self):
+            self.multicast(NotRegistered(1))
+
+    setup = TrustedSetup.generate(4, seed=6)
+    runtime = TCPRuntime(setup, seed=6)
+    with pytest.raises(codec.CodecError):
+        _run(runtime.run(lambda party: BadRoot(), timeout=5))
+    assert not runtime._tasks  # pumps/readers were cancelled, not leaked
+
+
+def test_run_sync_is_uniform_across_transports():
+    for kind in ("sim", "asyncio", "tcp"):
+        setup = TrustedSetup.generate(4, seed=2)
+        transport = make_transport(kind, setup, seed=2)
+        results = transport.run_sync(lambda party: EchoAll(), timeout=30)
+        assert all(value == frozenset(range(4)) for value in results.values())
+        assert transport.round_measure() > 0
+
+
+def test_run_adkg_transport_parameter():
+    result = run_adkg(n=4, seed=1, transport="tcp")
+    assert result.transport == "tcp"
+    assert result.agreed
+    assert result.bytes_total > 0
+    with pytest.raises(ValueError):
+        run_adkg(n=4, seed=1, transport="smoke-signals")
+    # Simulator-only knobs are rejected, not silently ignored.
+    with pytest.raises(ValueError):
+        run_adkg(n=4, seed=1, transport="tcp", to_quiescence=True)

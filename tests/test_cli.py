@@ -41,6 +41,28 @@ def test_compare_command(capsys):
     assert "word_ratio" in out
 
 
+def test_run_tcp_transport(capsys):
+    code = main(["run", "-n", "4", "--seed", "1", "--transport", "tcp"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "transport=tcp" in out
+    assert "bytes on wire:" in out
+
+
+def test_run_full_rejected_on_realtime_transport(capsys):
+    code = main(["run", "-n", "4", "--transport", "tcp", "--full"])
+    assert code == 2
+    assert "sim transport only" in capsys.readouterr().err
+
+
+def test_run_timeout_reports_cleanly(capsys):
+    code = main(
+        ["run", "-n", "4", "--seed", "1", "--transport", "tcp", "--timeout", "0.01"]
+    )
+    assert code == 1
+    assert "no agreement within" in capsys.readouterr().err
+
+
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
