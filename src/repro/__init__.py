@@ -30,7 +30,7 @@ from repro.net.delays import DelayModel, FixedDelay
 from repro.net.runtime import Simulation
 from repro.net.transport import Transport, make_transport
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 
 @dataclass

@@ -1,4 +1,4 @@
-"""Runners for the experiment index E1-E9 (DESIGN.md section 5).
+"""Runners for the experiment index E1-E9 (DESIGN.md section 6).
 
 Each runner executes seeded simulations and returns plain row dicts that
 the benchmarks assert on and ``scripts/generate_experiments.py`` renders

@@ -210,9 +210,16 @@ class CTBroadcast(Protocol):
         except ValueError:
             self._bad_roots.add(root)
             return
-        # Re-encode and re-commit: the root must commit exactly this codeword.
-        check_fragments = erasure.rs_encode(data, self.k, self.n)
-        if self.vc.commitment_only(check_fragments) != root:
+        # Re-encode and re-commit: the root must commit exactly this
+        # codeword.  Content-addressed memoization (keyed by the decoded
+        # bytes and the claimed root) — every party re-derives the same
+        # commitment over the same codeword, so the RS re-encode and
+        # vector-commitment rebuild run once per distinct (data, root).
+        if not self.directory.verify_cache.memoize(
+            "ctrbc-root",
+            (data, root, self.k, self.n, self.vc_kind),
+            lambda: self._recommit_matches(data, root),
+        ):
             self._bad_roots.add(root)
             return
         value = wire.deserialize(data)
@@ -220,6 +227,10 @@ class CTBroadcast(Protocol):
             self._bad_roots.add(root)
             return
         self._decoded[root] = value
+
+    def _recommit_matches(self, data: bytes, root: Any) -> bool:
+        check_fragments = erasure.rs_encode(data, self.k, self.n)
+        return self.vc.commitment_only(check_fragments) == root
 
     def _try_validate(self, value: Any) -> bool:
         try:

@@ -15,6 +15,7 @@ coefficients back from any ``k`` fragments.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Mapping, Sequence
 
 _PRIM = 0x11D
@@ -53,6 +54,25 @@ def _poly_eval(coeffs: Sequence[int], x: int) -> int:
     return acc
 
 
+@lru_cache(maxsize=256)
+def _mul_table(constant: int) -> bytes:
+    """A 256-byte ``bytes.translate`` table for multiplication by ``constant``.
+
+    ``data.translate(_mul_table(c))`` multiplies every byte of ``data`` by
+    ``c`` in GF(256) at C speed — the whole-column primitive the vectorized
+    encoder/decoder below are built from.  At most 255 tables exist, so the
+    cache never evicts in practice.
+    """
+    return bytes(gf_mul(constant, value) for value in range(256))
+
+
+def _xor_bytes(a: bytes, b: bytes) -> bytes:
+    """Bytewise XOR of two equal-length strings (via int arithmetic, C speed)."""
+    return (
+        int.from_bytes(a, "big") ^ int.from_bytes(b, "big")
+    ).to_bytes(len(a), "big")
+
+
 def _poly_mul(a: Sequence[int], b: Sequence[int]) -> list[int]:
     out = [0] * (len(a) + len(b) - 1)
     for i, ai in enumerate(a):
@@ -64,8 +84,13 @@ def _poly_mul(a: Sequence[int], b: Sequence[int]) -> list[int]:
     return out
 
 
-def _lagrange_matrix(xs: Sequence[int], k: int) -> list[list[int]]:
-    """``matrix[t][i]`` = coefficient ``t`` of the i-th Lagrange basis poly."""
+@lru_cache(maxsize=512)
+def _lagrange_matrix(xs: tuple[int, ...], k: int) -> tuple[tuple[int, ...], ...]:
+    """``matrix[t][i]`` = coefficient ``t`` of the i-th Lagrange basis poly.
+
+    Cached per point set: every party decoding the same broadcast (and
+    every broadcast among the same fastest ``k`` senders) reuses it.
+    """
     matrix = [[0] * k for _ in range(k)]
     for i, x_i in enumerate(xs):
         basis = [1]
@@ -78,7 +103,7 @@ def _lagrange_matrix(xs: Sequence[int], k: int) -> list[list[int]]:
         scale = gf_inv(denominator)
         for t in range(k):
             matrix[t][i] = gf_mul(basis[t], scale)
-    return matrix
+    return tuple(tuple(row) for row in matrix)
 
 
 def fragment_point(index: int) -> int:
@@ -97,11 +122,22 @@ def rs_encode(data: bytes, k: int, n: int) -> list[bytes]:
     prefixed = len(data).to_bytes(4, "big") + data
     if len(prefixed) % k:
         prefixed += b"\x00" * (k - len(prefixed) % k)
-    blocks = [prefixed[offset : offset + k] for offset in range(0, len(prefixed), k)]
-    points = [fragment_point(j) for j in range(n)]
-    return [
-        bytes(_poly_eval(block, point) for block in blocks) for point in points
-    ]
+    # Each k-byte block is a polynomial; fragment j evaluates every block
+    # at point x_j.  Vectorized column-wise: coefficient column i (every
+    # i-th byte) is scaled by x_j^i with one translate() and the columns
+    # are XOR-folded, so the Python-level work is O(k) per fragment
+    # instead of O(len(data)).
+    columns = [prefixed[i::k] for i in range(k)]
+    fragments = []
+    for j in range(n):
+        x = fragment_point(j)
+        acc = columns[0]
+        power = 1
+        for i in range(1, k):
+            power = gf_mul(power, x)
+            acc = _xor_bytes(acc, columns[i].translate(_mul_table(power)))
+        fragments.append(acc)
+    return fragments
 
 
 def rs_decode(fragments: Mapping[int, bytes], k: int) -> bytes:
@@ -119,19 +155,20 @@ def rs_decode(fragments: Mapping[int, bytes], k: int) -> bytes:
     if len(lengths) != 1:
         raise ValueError("fragments have inconsistent lengths")
     (block_count,) = lengths
-    xs = [fragment_point(index) for index, _ in chosen]
+    xs = tuple(fragment_point(index) for index, _ in chosen)
     matrix = _lagrange_matrix(xs, k)
     ys = [frag for _, frag in chosen]
+    # Vectorized per coefficient position: out[t::k] = Σ_i matrix[t][i]·ys[i],
+    # computed with one translate() per (t, i) pair over whole fragments.
     out = bytearray(block_count * k)
-    for block in range(block_count):
-        column = [frag[block] for frag in ys]
-        for t in range(k):
-            acc = 0
-            row = matrix[t]
-            for i in range(k):
-                if column[i]:
-                    acc ^= gf_mul(row[i], column[i])
-            out[block * k + t] = acc
+    zero = bytes(block_count)
+    for t in range(k):
+        row = matrix[t]
+        acc = zero
+        for i in range(k):
+            if row[i]:
+                acc = _xor_bytes(acc, ys[i].translate(_mul_table(row[i])))
+        out[t::k] = acc
     raw = bytes(out)
     length = int.from_bytes(raw[:4], "big")
     if length > len(raw) - 4:

@@ -23,6 +23,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.full and args.transport != "sim":
         print("error: --full applies to the sim transport only", file=sys.stderr)
         return 2
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     started = time.perf_counter()
     try:
         result = run_adkg(
@@ -44,6 +50,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"error: transport failure: {exc}", file=sys.stderr)
         return 1
     elapsed = time.perf_counter() - started
+    if profiler is not None:
+        import io
+        import pstats
+
+        profiler.disable()
+        buffer = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buffer).sort_stats("cumulative")
+        stats.print_stats(20)
+        print(buffer.getvalue())
     print(f"n={result.n} f={result.f} seed={args.seed} transport={result.transport}")
     print(f"agreed:        {result.agreed}")
     print(f"contributors:  {sorted(result.transcript.contributors)}")
@@ -132,6 +147,11 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=120.0,
         help="wall-clock limit for realtime transports (seconds)",
+    )
+    run_p.add_argument(
+        "--profile",
+        action="store_true",
+        help="wrap the run in cProfile and print the top-20 cumulative entries",
     )
     run_p.set_defaults(func=_cmd_run)
 

@@ -19,6 +19,7 @@ from repro.crypto import schnorr
 from repro.crypto.encoding import encode
 from repro.crypto.hashing import hash_bytes
 from repro.crypto.keys import PartySecret, PublicDirectory
+from repro.crypto.verify_cache import IdentityMemo
 from repro.core.validity import Validator, safe_validate
 
 KIND_ECHO = "echo"
@@ -42,12 +43,23 @@ class SignedVote:
 Certificate = tuple  # tuple[SignedVote, ...]
 
 
+#: Identity memo for :func:`value_digest`: agreement values (aggregated
+#: PVSS transcripts) are O(n) words and every vote check re-derives their
+#: digest, so the same immutable object is hashed once, not once per vote.
+_digest_memo = IdentityMemo()
+
+
 def value_digest(value: Any) -> bytes:
     """Canonical digest of an agreement value (possibly large)."""
+    cached = _digest_memo.get(value)
+    if cached is not None:
+        return cached
     try:
-        return hash_bytes("nwh-value", encode(value))
+        digest = hash_bytes("nwh-value", encode(value))
     except TypeError:
-        return hash_bytes("nwh-value-opaque", repr(value))
+        digest = hash_bytes("nwh-value-opaque", repr(value))
+    _digest_memo.put(value, digest)
+    return digest
 
 
 def make_vote(
@@ -77,19 +89,32 @@ def vote_valid(
     value: Any,
     view: int,
 ) -> bool:
+    """One vote's signature check, memoized per ``(vote, kind, digest, view)``.
+
+    The value enters the key only through its canonical digest — exactly
+    what the signature covers — so votes forwarded inside many
+    certificates are verified once per distinct vote.
+    """
     if not isinstance(vote, SignedVote):
         return False
     if not 0 <= vote.signer < directory.n:
         return False
-    return schnorr.verify(
-        directory.sign_group,
-        directory.sign_pks[vote.signer],
-        vote.signature,
-        "nwh-vote",
-        directory.session,
-        kind,
-        value_digest(value),
-        view,
+    digest = value_digest(value)
+
+    def check() -> bool:
+        return schnorr.verify(
+            directory.sign_group,
+            directory.sign_pks[vote.signer],
+            vote.signature,
+            "nwh-vote",
+            directory.session,
+            kind,
+            digest,
+            view,
+        )
+
+    return directory.verify_cache.memoize(
+        "cert-vote", (vote, kind, digest, view), check
     )
 
 
@@ -100,15 +125,25 @@ def certificate_valid(
     value: Any,
     view: int,
 ) -> bool:
-    """``n - f`` distinct valid votes on ``(kind, H(value), view)``."""
+    """``n - f`` distinct valid votes on ``(kind, H(value), view)``.
+
+    Memoized per distinct certificate: NWH re-checks the same echo/key/
+    lock certificates inside every message that forwards them.
+    """
     if not isinstance(proof, tuple):
         return False
-    signers = set()
-    for vote in proof:
-        if not vote_valid(directory, vote, kind, value, view):
-            return False
-        signers.add(vote.signer)
-    return len(signers) >= directory.quorum
+
+    def check() -> bool:
+        signers = set()
+        for vote in proof:
+            if not vote_valid(directory, vote, kind, value, view):
+                return False
+            signers.add(vote.signer)
+        return len(signers) >= directory.quorum
+
+    return directory.verify_cache.memoize(
+        "cert", (proof, kind, value_digest(value), view), check
+    )
 
 
 def key_correct(

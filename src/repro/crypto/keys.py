@@ -15,6 +15,7 @@ from repro.crypto.group import SchnorrGroup
 from repro.crypto.pairing import BilinearGroup, GroupElement
 from repro.crypto.params import GroupParams, get_params
 from repro.crypto.schnorr import SigningKey, keygen
+from repro.crypto.verify_cache import VerifyCache
 
 
 @dataclass(frozen=True)
@@ -38,6 +39,14 @@ class PublicDirectory:
     sign_pks: tuple[int, ...]
     enc_pks: tuple[GroupElement, ...]
     session: str
+    #: Per-run verification memo (see :mod:`repro.crypto.verify_cache`);
+    #: scoped to the directory so verdicts never cross runs or key sets.
+    verify_cache: VerifyCache = dc_field(
+        default_factory=VerifyCache,
+        compare=False,
+        repr=False,
+        metadata={"no_encode": True},
+    )
 
     def __post_init__(self) -> None:
         if self.n < 3 * self.f + 1:

@@ -25,7 +25,12 @@ from typing import Sequence
 
 from repro.crypto.hashing import hash_to_int
 from repro.crypto.pairing import BilinearGroup, GroupElement
-from repro.crypto.polynomial import Polynomial, interpolate_polynomial
+from repro.crypto.polynomial import (
+    Polynomial,
+    _divide_by_root,
+    interpolate_polynomial,
+)
+from repro.crypto.verify_cache import VerifyCache
 
 
 @dataclass(frozen=True)
@@ -55,6 +60,12 @@ class KZGSetup:
             self._powers.append(group.exp(group.g, acc))
             acc = acc * tau % group.order
         self.tau_point = self._powers[1]  # g^τ
+        #: Per-setup verification memo (openings are re-checked once per
+        #: echo path, like every other proof in the broadcast layer).
+        self.verify_cache = VerifyCache()
+        # commit() and open_at() interpolate the same value vector; keep
+        # the most recent interpolations around (bounded, see _interpolate).
+        self._poly_memo: dict[tuple[int, ...], Polynomial] = {}
 
     @classmethod
     def from_seed(cls, group: BilinearGroup, capacity: int, *seed_parts) -> "KZGSetup":
@@ -90,7 +101,10 @@ class KZGSetup:
         # q(x) = (p(x) - p(i)) / (x - i), by synthetic division at root i.
         shifted = list(poly.coeffs)
         shifted[0] = field.sub(shifted[0], field.element(values[index]))
-        quotient = _divide_by_root(field, shifted, index)
+        if len(shifted) == 1:
+            quotient = [0]
+        else:
+            quotient = _divide_by_root(field.q, shifted, index)
         return KZGOpening(witness=self._commit_poly(Polynomial(field, tuple(quotient))))
 
     def verify(
@@ -100,37 +114,39 @@ class KZGSetup:
         value: int,
         opening: KZGOpening,
     ) -> bool:
-        """Pairing check ``e(C·g^{-v}, g) == e(w, g^{τ-i})``."""
+        """Pairing check ``e(C·g^{-v}, g) == e(w, g^{τ-i})`` (memoized)."""
         group = self.group
         if not isinstance(opening, KZGOpening):
             return False
         if not group.is_element(commitment) or not group.is_element(opening.witness):
             return False
-        lhs = group.pair(
-            group.mul(commitment, group.inv(group.exp(group.g, value))), group.g
+
+        def check() -> bool:
+            lhs = group.pair(
+                group.mul(commitment, group.inv(group.exp(group.g, value))), group.g
+            )
+            shift = group.mul(self.tau_point, group.inv(group.exp(group.g, index)))
+            rhs = group.pair(opening.witness, shift)
+            return lhs == rhs
+
+        return self.verify_cache.memoize(
+            "kzg-open", (commitment, index, value, opening), check
         )
-        shift = group.mul(self.tau_point, group.inv(group.exp(group.g, index)))
-        rhs = group.pair(opening.witness, shift)
-        return lhs == rhs
 
     # -- internals -------------------------------------------------------------------
 
     def _interpolate(self, values: Sequence[int]) -> Polynomial:
         field = self.group.scalar_field
-        points = [(k, field.element(v)) for k, v in enumerate(values)]
-        if len(points) == 1:
-            return Polynomial(field, (points[0][1],))
-        return interpolate_polynomial(field, points)
-
-
-def _divide_by_root(field, coeffs: list[int], root: int) -> list[int]:
-    """Divide a polynomial (with ``p(root) = 0``) by ``(x - root)``."""
-    degree = len(coeffs) - 1
-    if degree == 0:
-        return [0]
-    quotient = [0] * degree
-    carry = 0
-    for k in range(degree, 0, -1):
-        carry = field.add(coeffs[k], field.mul(carry, root))
-        quotient[k - 1] = carry
-    return quotient
+        key = tuple(field.element(v) for v in values)
+        memo = self._poly_memo
+        poly = memo.get(key)
+        if poly is not None:
+            return poly
+        if len(key) == 1:
+            poly = Polynomial(field, (key[0],))
+        else:
+            poly = interpolate_polynomial(field, list(enumerate(key)))
+        if len(memo) >= 256:  # bound the memo; vectors are per-broadcast
+            memo.clear()
+        memo[key] = poly
+        return poly

@@ -50,7 +50,7 @@ class GroupElement:
 class BilinearGroup:
     """A symmetric bilinear group of prime order ``q`` (simulated)."""
 
-    __slots__ = ("q", "scalar_field", "g", "gt", "name")
+    __slots__ = ("q", "scalar_field", "g", "gt", "name", "pair_calls")
 
     def __init__(self, order: int, name: str = "bls-sim") -> None:
         if order < 3:
@@ -60,6 +60,10 @@ class BilinearGroup:
         self.g = GroupElement(KIND_G, 1)
         self.gt = GroupElement(KIND_GT, 1)
         self.name = name
+        #: Pairing-operation counter: each :meth:`pair` costs 1, each
+        #: :meth:`multi_pair` costs 1 regardless of width (the model of a
+        #: shared-Miller-loop product of pairings on a real curve).
+        self.pair_calls = 0
 
     def __repr__(self) -> str:
         return f"BilinearGroup(order={self.q:#x})"
@@ -98,7 +102,27 @@ class BilinearGroup:
         self._check(b)
         if a.kind != KIND_G or b.kind != KIND_G:
             raise ValueError("pairing arguments must be source-group elements")
+        self.pair_calls += 1
         return GroupElement(KIND_GT, a.log * b.log % self.q)
+
+    def multi_pair(self, pairs: Any) -> GroupElement:
+        """``Π e(a_i, b_i)`` as one pairing operation.
+
+        On a real curve this is the standard multi-pairing: one shared
+        Miller loop plus one final exponentiation, so batched verifiers
+        (PVSS dealing checks, threshold-signature aggregation) pay a
+        single pairing's latency for the whole product.  The empty
+        product is the ``GT`` identity.
+        """
+        acc = 0
+        for a, b in pairs:
+            self._check(a)
+            self._check(b)
+            if a.kind != KIND_G or b.kind != KIND_G:
+                raise ValueError("pairing arguments must be source-group elements")
+            acc = (acc + a.log * b.log) % self.q
+        self.pair_calls += 1
+        return GroupElement(KIND_GT, acc)
 
     def prod(self, elements: Any) -> GroupElement:
         """Product of a non-empty iterable of same-kind elements."""

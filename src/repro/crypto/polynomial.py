@@ -8,6 +8,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field as dc_field
+from functools import lru_cache
 from typing import Sequence
 
 from repro.crypto.field import PrimeField
@@ -69,27 +70,53 @@ def random_polynomial(
     return Polynomial(field, coeffs)
 
 
+@lru_cache(maxsize=4096)
+def _pairwise_denominators(q: int, points: tuple[int, ...]) -> tuple[int, ...]:
+    """``d_i = Π_{j≠i} (x_i - x_j) mod q`` for a fixed evaluation domain.
+
+    The O(k²) inner product every Lagrange-style computation needs
+    (coefficients, SCRAPE dual codewords, coefficient interpolation) over
+    the handful of domains ADKG actually uses — ``1..f+1`` subsets for
+    share combination, ``0..n`` for the SCRAPE test — so it is cached
+    process-wide, keyed by the domain itself.
+    """
+    denominators = []
+    for i, x_i in enumerate(points):
+        d = 1
+        for j, x_j in enumerate(points):
+            if i != j:
+                d = d * (x_i - x_j) % q
+        denominators.append(d)
+    return tuple(denominators)
+
+
+@lru_cache(maxsize=4096)
+def _lagrange_cached(q: int, points: tuple[int, ...], at: int) -> tuple[int, ...]:
+    denominators = _pairwise_denominators(q, points)
+    # Π (at - x_j) over the whole domain; λ_i divides the i-th factor out.
+    coefficients = []
+    for x_i, d_i in zip(points, denominators):
+        numerator = 1
+        for x_j in points:
+            if x_j != x_i:
+                numerator = numerator * (at - x_j) % q
+        coefficients.append(numerator * pow(d_i, -1, q) % q)
+    return tuple(coefficients)
+
+
 def lagrange_coefficients(
     field: PrimeField, xs: Sequence[int], at: int = 0
 ) -> tuple[int, ...]:
     """Lagrange coefficients ``λ_i`` such that ``f(at) = Σ λ_i f(xs[i])``.
 
-    The ``xs`` must be distinct field elements.
+    The ``xs`` must be distinct field elements.  Results are memoized per
+    ``(field, domain, at)``: every view of every ADKG run combines shares
+    over the same handful of ``f+1``-subsets of ``1..n``.
     """
-    points = [field.element(x) for x in xs]
+    points = tuple(field.element(x) for x in xs)
     if len(set(points)) != len(points):
         raise ValueError("interpolation points must be distinct")
-    coefficients = []
-    for i, x_i in enumerate(points):
-        numerator = 1
-        denominator = 1
-        for j, x_j in enumerate(points):
-            if i == j:
-                continue
-            numerator = numerator * field.sub(at, x_j) % field.q
-            denominator = denominator * field.sub(x_i, x_j) % field.q
-        coefficients.append(field.div(numerator, denominator))
-    return tuple(coefficients)
+    return _lagrange_cached(field.q, points, field.element(at))
 
 
 def interpolate_at(
@@ -103,38 +130,65 @@ def interpolate_at(
     return field.sum(field.mul(lam, y) for lam, (_, y) in zip(lambdas, points))
 
 
+@lru_cache(maxsize=1024)
+def _master_polynomial(q: int, points: tuple[int, ...]) -> tuple[int, ...]:
+    """Coefficients of ``Π_j (x - x_j) mod q`` for a fixed domain."""
+    coeffs = [1]
+    for x in points:
+        shifted = [0] + coeffs  # coeffs * x^1
+        for i, c in enumerate(coeffs):
+            shifted[i] = (shifted[i] - c * x) % q
+        coeffs = shifted
+    return tuple(coeffs)
+
+
+def _divide_by_root(q: int, coeffs: Sequence[int], root: int) -> list[int]:
+    """Divide a polynomial with ``p(root) = 0`` by ``(x - root)``."""
+    degree = len(coeffs) - 1
+    quotient = [0] * degree
+    carry = 0
+    for k in range(degree, 0, -1):
+        carry = (coeffs[k] + carry * root) % q
+        quotient[k - 1] = carry
+    return quotient
+
+
 def interpolate_polynomial(
     field: PrimeField, points: Sequence[tuple[int, int]]
 ) -> Polynomial:
-    """Full coefficient-form interpolation (O(k^2)); used by the RS decoder tests."""
+    """Full coefficient-form interpolation (used by KZG and the RS decoder tests).
+
+    Degree 0/1 inputs short-circuit; the general case expands the
+    Lagrange basis from the domain's cached master polynomial and
+    pairwise denominators (:func:`_pairwise_denominators`), so repeated
+    interpolation over a fixed domain — KZG commits/opens always use
+    ``0..d`` — only pays O(k²) once per domain.
+    """
     xs = [field.element(x) for x, _ in points]
     ys = [field.element(y) for _, y in points]
     if len(set(xs)) != len(xs):
         raise ValueError("interpolation points must be distinct")
-    # Newton's divided differences.
-    n = len(points)
-    table = list(ys)
-    for level in range(1, n):
-        for i in range(n - 1, level - 1, -1):
-            num = field.sub(table[i], table[i - 1])
-            den = field.sub(xs[i], xs[i - level])
-            table[i] = field.div(num, den)
-    # Expand Newton form to coefficients.
-    coeffs = [0] * n
-    coeffs[0] = table[0]
-    basis = [1] + [0] * (n - 1)  # running product (x - x_0)...(x - x_{k-1})
-    for k in range(1, n):
-        # basis *= (x - xs[k-1])
-        new_basis = [0] * n
-        for i in range(n):
-            if basis[i] == 0:
+    q = field.q
+    if len(points) == 1:
+        return Polynomial(field, (ys[0],))
+    if len(points) == 2:
+        slope = (ys[1] - ys[0]) * pow(xs[1] - xs[0], -1, q) % q
+        constant = (ys[0] - slope * xs[0]) % q
+        coeffs = [constant, slope]
+    else:
+        domain = tuple(xs)
+        master = _master_polynomial(q, domain)
+        denominators = _pairwise_denominators(q, domain)
+        count = len(points)
+        coeffs = [0] * count
+        for x_i, y_i, d_i in zip(xs, ys, denominators):
+            if y_i == 0:
                 continue
-            if i + 1 < n:
-                new_basis[i + 1] = field.add(new_basis[i + 1], basis[i])
-            new_basis[i] = field.sub(new_basis[i], field.mul(basis[i], xs[k - 1]))
-        basis = new_basis
-        for i in range(n):
-            coeffs[i] = field.add(coeffs[i], field.mul(table[k], basis[i]))
+            basis = _divide_by_root(q, master, x_i)
+            scale = y_i * pow(d_i, -1, q) % q
+            for t in range(count):
+                if basis[t]:
+                    coeffs[t] = (coeffs[t] + scale * basis[t]) % q
     while len(coeffs) > 1 and coeffs[-1] == 0:
         coeffs.pop()
     return Polynomial(field, tuple(coeffs))
@@ -159,16 +213,13 @@ def scrape_coefficients(
     count = len(xs)
     if degree < 0 or degree > count - 2:
         raise ValueError("need at least degree + 2 points for a non-trivial test")
-    points = [field.element(x) for x in xs]
+    points = tuple(field.element(x) for x in xs)
     if len(set(points)) != len(points):
         raise ValueError("evaluation points must be distinct")
     mask = random_polynomial(field, count - degree - 2, rng)
-    coefficients = []
-    for i, x_i in enumerate(points):
-        denominator = 1
-        for j, x_j in enumerate(points):
-            if i == j:
-                continue
-            denominator = denominator * field.sub(x_i, x_j) % field.q
-        coefficients.append(field.mul(mask.evaluate(x_i), field.inv(denominator)))
-    return tuple(coefficients)
+    q = field.q
+    denominators = _pairwise_denominators(q, points)
+    return tuple(
+        mask.evaluate(x_i) * pow(d_i, -1, q) % q
+        for x_i, d_i in zip(points, denominators)
+    )

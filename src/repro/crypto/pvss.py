@@ -143,9 +143,23 @@ def deal(
 def verify_contribution(
     directory: PublicDirectory, contribution: PVSSContribution
 ) -> bool:
-    """Publicly verify a single dealer's contribution."""
+    """Publicly verify a single dealer's contribution.
+
+    Memoized per distinct contribution (content-addressed): the same
+    dealing arriving via several broadcast echo paths is verified once.
+    """
     if not isinstance(contribution, PVSSContribution):
         return False
+    return directory.verify_cache.memoize(
+        "pvss-contrib",
+        (contribution,),
+        lambda: _verify_contribution(directory, contribution),
+    )
+
+
+def _verify_contribution(
+    directory: PublicDirectory, contribution: PVSSContribution
+) -> bool:
     if not 0 <= contribution.dealer < directory.n:
         return False
     tag = contribution.tag
@@ -201,9 +215,25 @@ def verify_transcript(
 
     ``min_contributors`` is ``2f + 1`` for the paper's ``DKGVerify``
     (Definition 1) so at least ``f + 1`` honest dealers contributed.
+
+    Memoized per distinct ``(transcript, min_contributors)``: NWH and
+    Gather call ``DKGVerify`` on the same aggregate once per echo path /
+    suggestion, and only the first call does the algebra.
     """
     if not isinstance(transcript, PVSSTranscript):
         return False
+    return directory.verify_cache.memoize(
+        "pvss-transcript",
+        (transcript, min_contributors),
+        lambda: _verify_transcript(directory, transcript, min_contributors),
+    )
+
+
+def _verify_transcript(
+    directory: PublicDirectory,
+    transcript: PVSSTranscript,
+    min_contributors: int,
+) -> bool:
     dealers = [tag.dealer for tag in transcript.tags]
     if len(set(dealers)) != len(dealers):
         return False
@@ -277,10 +307,28 @@ def _verify_sharing(
     )
     if check != group.identity(commitments[0].kind):
         return False
-    # Pairing consistency of every encrypted share with its commitment.
-    for j in range(n):
-        lhs = group.pair(group.g, cipher_shares[j])
-        rhs = group.pair(directory.enc_pks[j], commitments[j + 1])
-        if lhs != rhs:
-            return False
-    return True
+    # Pairing consistency of every encrypted share with its commitment:
+    # e(g, Ŝ_j) == e(epk_j, A_j) for all j, checked as one random-linear-
+    # combination batch — Σ r_j errors vanishing for independent 128-bit
+    # r_j has probability ≤ 2^-128, exactly the standard BLS12-381 batch
+    # argument (and exact in the generic-group simulation).  The r_j are
+    # Fiat-Shamir-derived so verification stays deterministic per value.
+    rlc_seed = hash_bytes(
+        "pvss-rlc",
+        directory.session,
+        tuple(group.encode_element(s) for s in cipher_shares),
+        tuple(group.encode_element(a) for a in commitments),
+    )
+    rlc = random.Random(rlc_seed)
+    weights = [rlc.randrange(1, 1 << 128) for _ in range(n)]
+    lhs = group.pair(
+        group.g,
+        group.prod(
+            group.exp(cipher_shares[j], weights[j]) for j in range(n)
+        ),
+    )
+    rhs = group.multi_pair(
+        (group.exp(directory.enc_pks[j], weights[j]), commitments[j + 1])
+        for j in range(n)
+    )
+    return lhs == rhs

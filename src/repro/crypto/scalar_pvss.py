@@ -29,11 +29,12 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.crypto import nizk
 from repro.crypto.group import SchnorrGroup
 from repro.crypto.polynomial import lagrange_coefficients, random_polynomial
+from repro.crypto.verify_cache import VerifyCache
 
 
 @dataclass(frozen=True)
@@ -110,10 +111,32 @@ def verify_dealing(
     dealing: ScalarDealing,
     enc_pks: Sequence[int],
     threshold: int,
+    cache: Optional[VerifyCache] = None,
 ) -> bool:
-    """Public verification against the commitments alone."""
+    """Public verification against the commitments alone.
+
+    Pass a :class:`VerifyCache` to memoize per distinct dealing (keyed on
+    the dealing's content plus the key set and threshold); callers with a
+    :class:`~repro.crypto.keys.PublicDirectory` should pass its
+    ``verify_cache``.
+    """
     if not isinstance(dealing, ScalarDealing):
         return False
+    if cache is not None:
+        return cache.memoize(
+            "spvss-dealing",
+            (dealing, tuple(enc_pks), threshold),
+            lambda: _verify_dealing(group, dealing, enc_pks, threshold),
+        )
+    return _verify_dealing(group, dealing, enc_pks, threshold)
+
+
+def _verify_dealing(
+    group: SchnorrGroup,
+    dealing: ScalarDealing,
+    enc_pks: Sequence[int],
+    threshold: int,
+) -> bool:
     n = len(enc_pks)
     if len(dealing.commitments) != threshold + 1:
         return False
@@ -171,23 +194,36 @@ def verify_decrypted_share(
     dealing: ScalarDealing,
     share: DecryptedShare,
     enc_pk: int,
+    cache: Optional[VerifyCache] = None,
 ) -> bool:
     if not isinstance(share, DecryptedShare):
         return False
+    if not isinstance(share.party, int) or not (
+        0 <= share.party < len(dealing.encrypted_shares)
+    ):
+        # Out-of-range (or negative: Python-aliasing) party indices must
+        # fail closed, not crash the verifier or alias another share.
+        return False
     if not group.is_element(share.value):
         return False
-    y_j = dealing.encrypted_shares[share.party]
-    return nizk.verify_dleq(
-        group,
-        group.g,
-        enc_pk,
-        share.value,
-        y_j,
-        share.proof,
-        "spvss-dec",
-        dealing.dealer,
-        share.party,
-    )
+
+    def check() -> bool:
+        y_j = dealing.encrypted_shares[share.party]
+        return nizk.verify_dleq(
+            group,
+            group.g,
+            enc_pk,
+            share.value,
+            y_j,
+            share.proof,
+            "spvss-dec",
+            dealing.dealer,
+            share.party,
+        )
+
+    if cache is not None:
+        return cache.memoize("spvss-share", (share, dealing, enc_pk), check)
+    return check()
 
 
 def combine_shares(

@@ -109,7 +109,7 @@ def EvalShVerify(
     message: Any,
     share: Any,
 ) -> bool:
-    """Pairing check ``share == e(H(m), A_party)``."""
+    """Pairing check ``share == e(H(m), A_party)`` (memoized per share)."""
     if not isinstance(share, EvalShare) or share.party != party:
         return False
     if not 0 <= party < directory.n:
@@ -117,9 +117,15 @@ def EvalShVerify(
     group = directory.pair_group
     if not group.is_element(share.value, kind="GT"):
         return False
-    point = _message_point(directory, message)
-    expected = group.pair(point, transcript.share_commitment(party))
-    return share.value == expected
+
+    def check() -> bool:
+        point = _message_point(directory, message)
+        expected = group.pair(point, transcript.share_commitment(party))
+        return share.value == expected
+
+    return directory.verify_cache.memoize(
+        "tvrf-evalsh", (share, message, transcript), check
+    )
 
 
 def Eval(

@@ -1,0 +1,156 @@
+"""Content-addressed memoization of cryptographic verification.
+
+The protocols above the crypto layer re-verify the same values over and
+over: a PVSS transcript arrives once per RBC echo path, a signed vote is
+checked inside every certificate that carries it, and (in-process) every
+party repeats the identical pairing checks its peers already ran.  All of
+these verifications are pure functions of the public directory and the
+value bytes, so the repo amortizes them behind a :class:`VerifyCache`.
+
+Safety under Byzantine inputs comes from the cache key, not from trust in
+the sender: a result is stored under the SHA-256 of the value's canonical
+:mod:`repro.net.codec` encoding (plus a domain tag and any context parts).
+A transcript with even one mutated byte encodes to different bytes, hashes
+to a different key, and misses the cache — there is no way to inherit a
+``True`` verdict from the unmutated original.  Values the codec cannot
+encode are never cached (the check simply runs), so the cache can only
+deduplicate work, never change a verdict.
+
+Scoping: each :class:`~repro.crypto.keys.PublicDirectory` owns one cache
+(created in its ``__post_init__`` default), so results never leak between
+runs or between differently-keyed systems, and per-run counters are
+meaningful.  Within one simulated run all in-process parties share the
+directory and therefore the cache; the ``*.misses`` counter is exactly
+"distinct values verified", which is the structural quantity the perf
+harness asserts on (see ``benchmarks/bench_hotpath.py``).
+
+Identity memoization (:class:`IdentityMemo`) is a second, cheaper layer:
+it maps a *specific object* to a derived value (its canonical digest, its
+encoded bytes).  It assumes the object is immutable — true for the frozen
+dataclasses that cross the wire — and is keyed by ``id`` with a weakref
+guard, so a different (e.g. attacker-rebuilt) object never inherits the
+original's entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import weakref
+from collections import Counter
+from typing import Any, Callable, Optional, TypeVar
+
+T = TypeVar("T")
+
+_ATOMS = (int, str, bytes, bool, type(None))
+
+
+class IdentityMemo:
+    """An ``id``-keyed memo with weakref invalidation.
+
+    ``get`` returns a previously stored value only if the stored weakref
+    still points at the *same object* — a recycled ``id`` after garbage
+    collection can never alias a stale entry.  Objects that do not
+    support weak references are simply not memoized.
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self) -> None:
+        self._entries: dict[int, tuple[weakref.ref, Any]] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, obj: Any) -> Optional[Any]:
+        entry = self._entries.get(id(obj))
+        if entry is not None and entry[0]() is obj:
+            return entry[1]
+        return None
+
+    def put(self, obj: Any, value: Any) -> None:
+        oid = id(obj)
+        try:
+            ref = weakref.ref(obj, lambda _ref, _e=self._entries, _k=oid: _e.pop(_k, None))
+        except TypeError:
+            return  # ints, tuples, ... — not weakref-able, not worth memoizing
+        self._entries[oid] = (ref, value)
+
+
+#: Process-wide digest memo: object identity -> canonical content digest.
+#: Safe to share across runs because a digest depends only on the value.
+_digest_memo = IdentityMemo()
+
+
+def content_digest(value: Any) -> Optional[bytes]:
+    """SHA-256 of ``value``'s canonical codec bytes (identity-memoized).
+
+    Returns ``None`` when the codec cannot encode the value; callers must
+    then treat the value as uncacheable.
+    """
+    cached = _digest_memo.get(value)
+    if cached is not None:
+        return cached
+    from repro.net import codec  # local import: codec registers lazily
+
+    try:
+        encoded = codec.encode(value)
+    except codec.CodecError:
+        return None
+    digest = hashlib.sha256(encoded).digest()
+    _digest_memo.put(value, digest)
+    return digest
+
+
+def _part_key(part: Any) -> Optional[Any]:
+    """A hashable cache-key component for one context part."""
+    if isinstance(part, _ATOMS):
+        return (type(part).__name__, part)
+    return content_digest(part)
+
+
+class VerifyCache:
+    """Per-directory store of verification verdicts, with counters.
+
+    ``stats`` counts, per domain: ``<domain>.calls`` (every memoize
+    request), ``<domain>.hits`` / ``<domain>.misses`` (cacheable requests
+    served from / added to the store) and ``<domain>.uncacheable``
+    (values the codec could not encode — always recomputed).
+    """
+
+    __slots__ = ("_results", "stats")
+
+    def __init__(self) -> None:
+        self._results: dict[tuple, Any] = {}
+        self.stats: Counter = Counter()
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def memoize(self, domain: str, parts: tuple, compute: Callable[[], T]) -> T:
+        """Return ``compute()``, served from the cache when possible.
+
+        ``parts`` is the full verification context: the value under test
+        plus everything the verdict depends on (thresholds, messages,
+        signer indices, ...).  Each part is keyed by its canonical content
+        digest, so two contexts share a verdict iff they are byte-equal.
+        """
+        self.stats[f"{domain}.calls"] += 1
+        key_parts = []
+        for part in parts:
+            part_key = _part_key(part)
+            if part_key is None:
+                self.stats[f"{domain}.uncacheable"] += 1
+                return compute()
+            key_parts.append(part_key)
+        key = (domain, *key_parts)
+        if key in self._results:
+            self.stats[f"{domain}.hits"] += 1
+            return self._results[key]
+        self.stats[f"{domain}.misses"] += 1
+        result = compute()
+        self._results[key] = result
+        return result
+
+    def snapshot(self) -> dict[str, int]:
+        """A plain-dict copy of the counters (for metrics/benchmarks)."""
+        return dict(self.stats)

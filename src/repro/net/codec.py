@@ -49,7 +49,10 @@ from __future__ import annotations
 
 import dataclasses
 import struct as _struct
+from collections import Counter
 from typing import Any, Optional
+
+from repro.crypto.verify_cache import IdentityMemo
 
 __all__ = [
     "CodecError",
@@ -60,7 +63,29 @@ __all__ = [
     "encode_envelope",
     "decode_envelope",
     "encoded_size",
+    "encode_stats",
 ]
+
+#: Encode-once fan-out accounting: ``payload.calls`` counts every payload
+#: struct encoding request, ``payload.hits`` the ones served from the
+#: identity memo (a broadcast encodes its payload once, then reuses the
+#: buffer for all n recipients), ``payload.misses`` the real encodings.
+encode_stats: Counter = Counter()
+
+# Payload bytes keyed by object identity (weakref-guarded).  Sound
+# because payloads are frozen value dataclasses: a distinct (e.g.
+# Byzantine-transformed) payload is a distinct object and never aliases a
+# memoized buffer.  Process-wide is safe for the same reason — bytes are
+# a pure function of the value.
+_payload_memo = IdentityMemo()
+_memoized_types: set[type] = set()
+
+# Envelope instance-path encodings, keyed by the path value itself (paths
+# are small hashable tuples and repeat for every message of an instance).
+# Value-keyed is sound: the encoding is a pure function of the value.
+_envelope_type: Optional[type] = None
+_path_memo: dict[tuple, bytes] = {}
+_PATH_MEMO_LIMIT = 8192
 
 
 class CodecError(ValueError):
@@ -152,6 +177,13 @@ def register(cls: type, type_id: int, fields: Optional[tuple[str, ...]] = None) 
     _by_type[cls] = (type_id, fields)
     _by_id[type_id] = (cls, fields, checkers)
     _by_name[cls.__name__] = cls
+    from repro.net.payload import Payload  # deferred: payload.py is below codec
+
+    if issubclass(cls, Payload):
+        # Protocol payloads are the multicast fan-out unit: the same
+        # frozen object is addressed to all n recipients, so its struct
+        # encoding is memoized by identity (see encode_stats above).
+        _memoized_types.add(cls)
     return cls
 
 
@@ -266,9 +298,49 @@ def _encode_into(out: bytearray, value: Any) -> None:
                 f"no codec registration for type {type(value).__name__!r}"
             )
         type_id, fields = entry
+        if type(value) in _memoized_types:
+            encode_stats["payload.calls"] += 1
+            cached = _payload_memo.get(value)
+            if cached is not None:
+                encode_stats["payload.hits"] += 1
+                out.extend(cached)
+                return
+            encode_stats["payload.misses"] += 1
+            chunk = bytearray()
+            chunk.append(_TAG_STRUCT)
+            _write_uvarint(chunk, type_id)
+            _write_uvarint(chunk, len(fields))
+            for name in fields:
+                _encode_into(chunk, getattr(value, name))
+            buffer = bytes(chunk)
+            _payload_memo.put(value, buffer)
+            out.extend(buffer)
+            return
         out.append(_TAG_STRUCT)
         _write_uvarint(out, type_id)
         _write_uvarint(out, len(fields))
+        if type(value) is _envelope_type:
+            for name in fields:
+                field_value = getattr(value, name)
+                if name == "path" and type(field_value) is tuple:
+                    try:
+                        cached = _path_memo.get(field_value)
+                    except TypeError:
+                        # Unhashable path (forged envelope): encode it
+                        # directly; decode_envelope rejects it anyway.
+                        _encode_into(out, field_value)
+                        continue
+                    if cached is None:
+                        chunk = bytearray()
+                        _encode_into(chunk, field_value)
+                        cached = bytes(chunk)
+                        if len(_path_memo) >= _PATH_MEMO_LIMIT:
+                            _path_memo.clear()
+                        _path_memo[field_value] = cached
+                    out.extend(cached)
+                else:
+                    _encode_into(out, field_value)
+            return
         for name in fields:
             _encode_into(out, getattr(value, name))
 
@@ -519,6 +591,8 @@ def _register_builtins() -> None:
 
     # Substrate.
     register(Envelope, _ENVELOPE_ID)
+    global _envelope_type
+    _envelope_type = Envelope
     # Crypto value types.
     register(GroupElement, 20)
     register(schnorr.Signature, 21)

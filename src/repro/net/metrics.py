@@ -1,4 +1,4 @@
-"""Word, message and round metering.
+"""Word, message and round metering — plus hot-path work counters.
 
 Every send is recorded with its full instance path and payload type, so
 experiments can report both totals (Theorems 6-10 measure total words)
@@ -6,14 +6,34 @@ and per-layer breakdowns (Theorem 8's ``n³·es + n²·ds + g(m+d) + b(n)``
 decomposition).  Layer attribution is *inclusive*: a reliable-broadcast
 message inside Gather inside PE counts towards ``rb``, ``gather`` and
 ``pe``.
+
+Beyond the paper's word metric, a :class:`Metrics` can carry *counter
+providers*: named live views over computational-work counters (crypto
+verification calls/hits/misses from
+:mod:`repro.crypto.verify_cache`, payload encode calls from
+:mod:`repro.net.codec`, pairing operations).  The transport binds them as
+deltas against its construction-time baseline, so ``counters("verify")``
+is "work done by this run" — the structural quantity the perf harness
+(``benchmarks/bench_hotpath.py``) asserts speedups on, independent of
+wall-clock noise.
 """
 
 from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
+from typing import Callable, Mapping
 
 from repro.net.envelope import Envelope
+
+
+def counter_delta(live: Mapping[str, int], baseline: Mapping[str, int]) -> dict:
+    """The non-zero growth of ``live`` over ``baseline`` (both Counters)."""
+    return {
+        key: live[key] - baseline.get(key, 0)
+        for key in live
+        if live[key] - baseline.get(key, 0)
+    }
 
 
 @dataclass
@@ -28,6 +48,9 @@ class Metrics:
     bytes_by_type: Counter = field(default_factory=Counter)
     max_depth: int = 0
     deliveries: int = 0
+    counter_providers: dict[str, Callable[[], dict]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def record_send(self, envelope: Envelope, nbytes: int | None = None) -> None:
         """Record one network send.
@@ -63,6 +86,15 @@ class Metrics:
     def words_for_layer(self, layer: str) -> int:
         return self.words_by_layer.get(layer, 0)
 
+    def attach_counters(self, name: str, provider: Callable[[], dict]) -> None:
+        """Register a live work-counter view (e.g. ``"verify"``, ``"encode"``)."""
+        self.counter_providers[name] = provider
+
+    def counters(self, name: str) -> dict:
+        """The named counter view right now; ``{}`` if none was attached."""
+        provider = self.counter_providers.get(name)
+        return dict(provider()) if provider is not None else {}
+
     def summary(self) -> dict:
         return {
             "words_total": self.words_total,
@@ -72,4 +104,8 @@ class Metrics:
             "deliveries": self.deliveries,
             "words_by_layer": dict(self.words_by_layer),
             "words_by_type": dict(self.words_by_type),
+            "counters": {
+                name: dict(provider())
+                for name, provider in self.counter_providers.items()
+            },
         }

@@ -87,6 +87,7 @@ class Transport:
             )
         self.measure_bytes = measure_bytes
         self.metrics = Metrics()
+        self._bind_work_counters(directory)
         self.dropped_sends = 0
         self.seed = seed
         self._adv_rng = random.Random(f"{rng_namespace}-adv-{seed}")
@@ -105,6 +106,35 @@ class Transport:
             for i in range(self.n)
         ]
 
+    def _bind_work_counters(self, directory: Any) -> None:
+        """Expose hot-path work counters as deltas over this run.
+
+        ``verify`` reads the directory's per-run verification cache
+        (misses = distinct values actually verified), ``encode`` the
+        codec's payload encode-once memo, ``pairing`` the simulated
+        group's pairing-operation count.  All are metered as growth since
+        transport construction, so two transports over fresh setups are
+        directly comparable.
+        """
+        from collections import Counter as _Counter
+
+        from repro.net.metrics import counter_delta
+
+        verify_stats = directory.verify_cache.stats
+        verify_base = _Counter(verify_stats)
+        encode_base = _Counter(codec.encode_stats)
+        pair_group = directory.pair_group
+        pair_base = pair_group.pair_calls
+        self.metrics.attach_counters(
+            "verify", lambda: counter_delta(verify_stats, verify_base)
+        )
+        self.metrics.attach_counters(
+            "encode", lambda: counter_delta(codec.encode_stats, encode_base)
+        )
+        self.metrics.attach_counters(
+            "pairing", lambda: {"pair_calls": pair_group.pair_calls - pair_base}
+        )
+
     # -- membership --------------------------------------------------------------------
 
     @property
@@ -113,7 +143,13 @@ class Transport:
 
     @property
     def honest(self) -> frozenset[int]:
-        return frozenset(range(self.n)) - self.corrupt
+        # Memoized: the corruption set is fixed at construction and this
+        # is consulted on every delivery (done-detection).
+        cached = getattr(self, "_honest_cache", None)
+        if cached is None:
+            cached = frozenset(range(self.n)) - self.corrupt
+            self._honest_cache = cached
+        return cached
 
     # -- lifecycle ---------------------------------------------------------------------
 

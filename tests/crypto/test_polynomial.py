@@ -108,3 +108,36 @@ def test_scrape_catches_high_degree():
 def test_scrape_requires_enough_points():
     with pytest.raises(ValueError):
         scrape_coefficients(FIELD, [0, 1], 1, random.Random(0))
+
+
+def test_interpolate_polynomial_degree_zero_and_one_early_exits():
+    # One point: the constant polynomial.
+    constant = interpolate_polynomial(FIELD, [(5, 42)])
+    assert constant.coeffs == (42,)
+    # Two points: the line through them, trimmed if it degenerates.
+    line = interpolate_polynomial(FIELD, [(1, 10), (3, 20)])
+    assert line.degree <= 1
+    assert line.evaluate(1) == 10 and line.evaluate(3) == 20
+    flat = interpolate_polynomial(FIELD, [(1, 9), (2, 9)])
+    assert flat.coeffs == (9,)
+
+
+@pytest.mark.parametrize("count", [3, 5, 8])
+def test_interpolate_polynomial_matches_interpolate_at(count):
+    rng = random.Random(count)
+    points = [(x, FIELD.rand(rng)) for x in range(count)]
+    poly = interpolate_polynomial(FIELD, points)
+    assert poly.degree <= count - 1
+    for x, y in points:
+        assert poly.evaluate(x) == y
+    probe = 1234
+    assert poly.evaluate(probe) == interpolate_at(FIELD, points, at=probe)
+
+
+def test_interpolation_domain_cache_is_value_safe():
+    # Same domain, different values: the cached master polynomial and
+    # denominators must not leak one interpolation into the next.
+    first = interpolate_polynomial(FIELD, [(0, 1), (1, 2), (2, 3)])
+    second = interpolate_polynomial(FIELD, [(0, 7), (1, 100), (2, 4)])
+    assert first.evaluate(1) == 2
+    assert second.evaluate(1) == 100

@@ -118,3 +118,35 @@ def test_fresh_secret_when_not_given(keys):
 def test_dealing_needs_enough_parties():
     with pytest.raises(ValueError):
         spvss.deal(GROUP, 0, [GROUP.g], 1, random.Random(0))
+
+
+def test_verify_dealing_memoizes_with_cache(keys, dealing):
+    from repro.crypto.verify_cache import VerifyCache
+
+    _sks, pks = keys
+    cache = VerifyCache()
+    assert spvss.verify_dealing(GROUP, dealing, pks, F, cache=cache)
+    assert spvss.verify_dealing(GROUP, dealing, pks, F, cache=cache)
+    assert cache.stats["spvss-dealing.misses"] == 1
+    assert cache.stats["spvss-dealing.hits"] == 1
+    # A tampered dealing misses the cache and is rejected on its own.
+    tampered = spvss.ScalarDealing(
+        dealer=dealing.dealer,
+        commitments=dealing.commitments,
+        encrypted_shares=tuple(reversed(dealing.encrypted_shares)),
+        proofs=dealing.proofs,
+    )
+    assert not spvss.verify_dealing(GROUP, tampered, pks, F, cache=cache)
+    assert cache.stats["spvss-dealing.misses"] == 2
+
+
+def test_decrypted_share_party_out_of_range_rejected(keys, dealing):
+    sks, pks = keys
+    honest = spvss.decrypt_share(GROUP, dealing, N - 1, sks[N - 1], random.Random(63))
+    assert spvss.verify_decrypted_share(GROUP, dealing, honest, pks[N - 1])
+    # party = -1 would alias encrypted_shares[N-1] via Python indexing;
+    # party = N would raise IndexError.  Both must just fail.
+    aliased = spvss.DecryptedShare(party=-1, value=honest.value, proof=honest.proof)
+    assert not spvss.verify_decrypted_share(GROUP, dealing, aliased, pks[N - 1])
+    overflow = spvss.DecryptedShare(party=N, value=honest.value, proof=honest.proof)
+    assert not spvss.verify_decrypted_share(GROUP, dealing, overflow, pks[N - 1])

@@ -101,3 +101,47 @@ def test_signature_bound_to_transcript(setup, transcript):
     ]
     signature = tsig.combine(setup.directory, transcript, MESSAGE, shares)
     assert not tsig.verify(setup.directory, other, MESSAGE, signature)
+
+
+def test_batch_share_valid_accepts_honest_quorum(setup, transcript):
+    shares = [
+        tsig.sign_share(setup.directory, setup.secret(i), transcript, MESSAGE)
+        for i in range(N)
+    ]
+    before = setup.directory.pair_group.pair_calls
+    assert tsig.batch_share_valid(setup.directory, transcript, MESSAGE, shares)
+    # One RLC batch = one pairing op (multi-pair), not one per share.
+    assert setup.directory.pair_group.pair_calls - before <= 2
+    assert tsig.batch_share_valid(setup.directory, transcript, MESSAGE, [])
+
+
+def test_batch_share_valid_rejects_one_forged_share(setup, transcript):
+    group = setup.directory.pair_group
+    shares = [
+        tsig.sign_share(setup.directory, setup.secret(i), transcript, MESSAGE)
+        for i in range(F + 1)
+    ]
+    forged = tsig.SignatureShare(
+        party=shares[0].party, value=group.mul(shares[0].value, group.gt)
+    )
+    assert not tsig.batch_share_valid(
+        setup.directory, transcript, MESSAGE, [forged] + shares[1:]
+    )
+    # Fallback path: per-share checks identify the culprit.
+    assert not tsig.share_valid(setup.directory, transcript, MESSAGE, forged)
+    assert all(
+        tsig.share_valid(setup.directory, transcript, MESSAGE, share)
+        for share in shares[1:]
+    )
+
+
+def test_batch_share_valid_rejects_garbage(setup, transcript):
+    assert not tsig.batch_share_valid(
+        setup.directory, transcript, MESSAGE, ["not a share"]
+    )
+    assert not tsig.batch_share_valid(
+        setup.directory,
+        transcript,
+        MESSAGE,
+        [tsig.SignatureShare(party=99, value=setup.directory.pair_group.gt)],
+    )

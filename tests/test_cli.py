@@ -66,3 +66,11 @@ def test_run_timeout_reports_cleanly(capsys):
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_run_profile_prints_top_entries(capsys):
+    code = main(["run", "-n", "4", "--seed", "1", "--profile"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "cumulative" in out  # cProfile table, sorted by cumulative time
+    assert "agreed:        True" in out
