@@ -7,8 +7,6 @@ practice benign runs decide in view 1; (b) each view costs
 rounds, so rounds-to-decision are constant in ``n``.
 """
 
-import statistics
-
 import pytest
 
 from repro.analysis.complexity import fit_power_law

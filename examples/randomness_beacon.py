@@ -1,70 +1,86 @@
 #!/usr/bin/env python3
-"""Randomness beacon on top of the A-DKG (the paper's first application).
+"""A drand-style randomness beacon on the session-multiplexed engine.
 
-Threshold signatures/VRFs "can be used to implement random beacons"
-(Section 1, citing RandHound/drand-style systems [32]).  This example:
+Threshold VRFs "can be used to implement random beacons" (Section 1 of
+the paper, citing RandHound/drand-style systems [32]).  Earlier versions
+of this example hand-rolled a single ADKG run and looped VRF shares by
+hand; it now drives the real service layer:
 
-1. runs the A-DKG once to establish the committee key — *the step the
-   paper makes practical over the Internet*;
-2. then, for a sequence of beacon epochs, f+1 available parties publish
-   threshold-VRF shares of φ(dkg, epoch) and anyone combines and
-   verifies the unique, unbiasable beacon output — even while f parties
-   are offline.
+1. the :class:`~repro.service.epochs.EpochDriver` runs several ADKG
+   *epochs* as concurrent sessions over one network — epoch ``e+1``'s
+   PVSS dealing overlaps epoch ``e``'s agreement phase (pipelining), and
+   each completed epoch's protocol state is garbage-collected;
+2. every epoch establishes a *fresh* group key (proactive rotation);
+3. the :class:`~repro.service.beacon.RandomnessBeacon` emits chained,
+   publicly verifiable VRF outputs under each epoch's key, with the
+   chain linking across key handoffs back to genesis.
 
 Run:  python examples/randomness_beacon.py
 """
 
-from repro import run_adkg
+from repro.service import RandomnessBeacon, run_beacon
 from repro.crypto import threshold_vrf as tvrf
 from repro.crypto.keys import TrustedSetup
 
-N, SEED, EPOCHS = 7, 7, 5
+N, SEED, EPOCHS, DEPTH, ROUNDS = 7, 7, 4, 2, 2
 
 
 def main() -> None:
+    print(
+        f"Running {EPOCHS} pipelined ADKG epochs (n={N}, pipeline depth "
+        f"{DEPTH}) feeding a {ROUNDS}-round-per-epoch beacon ...\n"
+    )
+    report = run_beacon(
+        n=N,
+        epochs=EPOCHS,
+        pipeline_depth=DEPTH,
+        rounds_per_epoch=ROUNDS,
+        transport="sim",
+        seed=SEED,
+    )
+    assert report.all_verified, "beacon stream must verify end-to-end"
+
+    for result in report.epoch_results:
+        print(
+            f"epoch {result.epoch}: fresh key agreed over "
+            f"[{result.started_at:.0f}, {result.completed_at:.0f}] rounds, "
+            f"pk = {str(result.public_key)[:44]}..."
+        )
+    print()
+    for output in report.outputs:
+        print(f"beacon {output.epoch}.{output.round}: {output.value:032x}")
+
+    keys = {str(r.public_key) for r in report.epoch_results}
+    assert len(keys) == EPOCHS, "every epoch must rotate to a fresh key"
+    values = [o.value for o in report.outputs]
+    assert len(set(values)) == len(values), "beacon values must all differ"
+
+    # Anyone can re-verify the whole stream from public data: each value
+    # against its epoch's group key, and the chain linkage to genesis.
     setup = TrustedSetup.generate(N, seed=SEED)
-    directory = setup.directory
-    f = directory.f
+    verifier = RandomnessBeacon(setup, rounds_per_epoch=ROUNDS)
+    transcripts = {r.epoch: r.transcript for r in report.epoch_results}
+    assert verifier.verify_chain(report.outputs, transcripts)
+    for result in report.epoch_results:
+        assert tvrf.DKGVerify(setup.directory, result.transcript)
+    print("\nindependent verifier: every output + chain linkage check out — OK")
 
-    print(f"Establishing the beacon committee via A-DKG (n={N}, f={f}) ...")
-    result = run_adkg(n=N, seed=SEED, setup=setup)
-    assert result.agreed
-    dkg = result.transcript
-    print(f"committee established; dealers folded in: {sorted(dkg.contributors)}\n")
+    # Uniqueness (Definition 2): a different f+1 signer subset would have
+    # produced the very same stream — no subset can bias the beacon.
+    f = setup.directory.f
+    other = RandomnessBeacon(
+        setup, rounds_per_epoch=ROUNDS, signers=range(1, f + 2)
+    )
+    for result in report.epoch_results:
+        other.emit_epoch(result.epoch, result.transcript)
+    assert [o.value for o in other.outputs] == values
+    print("uniqueness: a disjoint-ish signer subset emits the same stream — OK")
 
-    offline = set(range(f))  # the unluckiest f parties are offline
-    online = [i for i in range(N) if i not in offline]
-    print(f"parties {sorted(offline)} are offline for the whole demo\n")
-
-    previous = None
-    for epoch in range(EPOCHS):
-        message = ("beacon-epoch", epoch)
-        shares = []
-        for i in online[: f + 1]:
-            share = tvrf.EvalSh(directory, setup.secret(i), dkg, message)
-            assert tvrf.EvalShVerify(directory, dkg, i, message, share)
-            shares.append(share)
-        evaluation, proof = tvrf.Eval(directory, dkg, message, shares)
-        assert tvrf.EvalVerify(directory, dkg, message, evaluation, proof)
-        output = tvrf.vrf_output(directory, evaluation)
-        print(f"epoch {epoch}: beacon = {output:032x}")
-        assert output != previous, "beacon outputs must differ per epoch"
-        previous = output
-
-    # Uniqueness (Definition 2): a different share subset gives the same value.
-    message = ("beacon-epoch", 0)
-    other_shares = [
-        tvrf.EvalSh(directory, setup.secret(i), dkg, message)
-        for i in online[1 : f + 2]
-    ]
-    evaluation2, _ = tvrf.Eval(directory, dkg, message, other_shares)
-    shares0 = [
-        tvrf.EvalSh(directory, setup.secret(i), dkg, message)
-        for i in online[: f + 1]
-    ]
-    evaluation1, _ = tvrf.Eval(directory, dkg, message, shares0)
-    assert evaluation1 == evaluation2
-    print("\nuniqueness check: two disjoint-ish share subsets agree — OK")
+    print(
+        f"\npipelined end-to-end: {report.end_to_end:.0f} rounds for "
+        f"{EPOCHS} epochs (mean epoch latency "
+        f"{report.mean_epoch_latency:.0f} rounds)"
+    )
 
 
 if __name__ == "__main__":

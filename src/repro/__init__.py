@@ -13,9 +13,10 @@ Quickstart::
 
 Layers (bottom-up): :mod:`repro.crypto` (fields, groups, signatures,
 PVSS, threshold VRF), :mod:`repro.net` (sans-io protocol substrate +
-simulator), :mod:`repro.broadcast` (reliable broadcast),
-:mod:`repro.core` (Gather, Proposal Election, NWH, A-DKG) and
-:mod:`repro.baselines` (the Ω(n⁴) comparator).  See DESIGN.md for the
+session-multiplexed transports), :mod:`repro.broadcast` (reliable
+broadcast), :mod:`repro.core` (Gather, Proposal Election, NWH, A-DKG),
+:mod:`repro.baselines` (the Ω(n⁴) comparator) and :mod:`repro.service`
+(pipelined ADKG epochs + randomness beacon).  See DESIGN.md for the
 full inventory and EXPERIMENTS.md for paper-vs-measured results.
 """
 
@@ -30,7 +31,7 @@ from repro.net.delays import DelayModel, FixedDelay
 from repro.net.runtime import Simulation
 from repro.net.transport import Transport, make_transport
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 
 @dataclass

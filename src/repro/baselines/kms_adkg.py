@@ -22,14 +22,12 @@ transcript — at the old cost.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Optional
+from typing import Any
 
 from repro.baselines.aba import BinaryAgreement
 from repro.baselines.common_coin import CoinHelper
 from repro.broadcast.validated import make_broadcast
 from repro.crypto import pvss, threshold_vrf as tvrf
-from repro.net.payload import Payload
 from repro.net.protocol import Protocol
 
 

@@ -4,6 +4,8 @@ Commands
 --------
 ``run``         run one A-DKG (``--transport sim|asyncio|tcp``) and print
                 the outcome + word/byte costs
+``beacon``      pipelined ADKG epochs feeding a verifiable randomness
+                beacon (the session-multiplexed service layer)
 ``sweep``       words/rounds across a range of n (quick Theorem-10 view)
 ``drill``       the Byzantine fault matrix (Theorems 1/3/4/5 in action)
 ``compare``     this work vs the Ω(n⁴) baseline (the Section-1 headline)
@@ -69,6 +71,61 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"NWH views:     {result.views}")
     print(f"wall clock:    {elapsed:.2f}s")
     return 0 if result.agreed else 1
+
+
+def _cmd_beacon(args: argparse.Namespace) -> int:
+    from repro.service import run_beacon
+
+    if args.pipeline_depth < 1 or args.epochs < 1 or args.rounds < 1:
+        print(
+            "error: --epochs, --pipeline-depth and --rounds must be >= 1",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        report = run_beacon(
+            n=args.n,
+            epochs=args.epochs,
+            pipeline_depth=args.pipeline_depth,
+            rounds_per_epoch=args.rounds,
+            transport=args.transport,
+            seed=args.seed,
+            timeout=args.timeout,
+        )
+    except TimeoutError:
+        print(
+            f"error: an epoch missed the {args.timeout}s deadline on the "
+            f"{args.transport} transport (raise --timeout?)",
+            file=sys.stderr,
+        )
+        return 1
+    except OSError as exc:
+        print(f"error: transport failure: {exc}", file=sys.stderr)
+        return 1
+    unit = "rounds" if args.transport == "sim" else "s"
+    print(
+        f"n={report.n} f={report.f} seed={report.seed} "
+        f"transport={report.transport} epochs={report.epochs} "
+        f"pipeline-depth={report.pipeline_depth}"
+    )
+    for result in report.epoch_results:
+        key = result.public_key
+        print(
+            f"epoch {result.epoch}: key established "
+            f"[{result.started_at:.1f}, {result.completed_at:.1f}] {unit}"
+            + (f"  pk={str(key)[:40]}" if key is not None else "")
+        )
+    for output in report.outputs:
+        print(
+            f"  beacon {output.epoch}.{output.round}: {output.value:032x}"
+        )
+    print(f"beacon outputs verified:  {report.all_verified}")
+    print(f"end-to-end:               {report.end_to_end:.2f} {unit}")
+    print(f"mean epoch latency:       {report.mean_epoch_latency:.2f} {unit}")
+    print(f"epochs/sec (wall clock):  {report.epochs_per_sec:.2f}")
+    print(f"words sent:               {report.words_total:,}")
+    print(f"bytes on wire:            {report.bytes_total:,}")
+    return 0 if report.all_verified else 1
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -154,6 +211,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="wrap the run in cProfile and print the top-20 cumulative entries",
     )
     run_p.set_defaults(func=_cmd_run)
+
+    beacon_p = sub.add_parser(
+        "beacon",
+        help="pipelined ADKG epochs + verifiable randomness beacon",
+    )
+    beacon_p.add_argument("-n", type=int, default=7, help="number of parties")
+    beacon_p.add_argument("--seed", type=int, default=0)
+    beacon_p.add_argument(
+        "--epochs", type=int, default=5, help="number of ADKG epochs (key rotations)"
+    )
+    beacon_p.add_argument(
+        "--pipeline-depth",
+        type=int,
+        default=2,
+        help="epochs in flight at once (1 = strictly sequential)",
+    )
+    beacon_p.add_argument(
+        "--rounds", type=int, default=2, help="beacon rounds emitted per epoch"
+    )
+    beacon_p.add_argument(
+        "--transport",
+        choices=("sim", "asyncio", "tcp"),
+        default="sim",
+        help="runtime: deterministic simulator, realtime asyncio, or TCP sockets",
+    )
+    beacon_p.add_argument(
+        "--timeout",
+        type=float,
+        default=120.0,
+        help="per-epoch wall-clock limit for realtime transports (seconds)",
+    )
+    beacon_p.set_defaults(func=_cmd_beacon)
 
     sweep_p = sub.add_parser("sweep", help="words/rounds across n")
     sweep_p.add_argument("--min-n", type=int, default=4)

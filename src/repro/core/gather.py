@@ -22,9 +22,8 @@ from __future__ import annotations
 from typing import Any, Optional
 
 from repro.broadcast.validated import make_broadcast
-from repro.core.validity import Validator, always_valid, safe_validate
+from repro.core.validity import Validator, always_valid
 from repro.net.conditions import Completion
-from repro.net.payload import Payload
 from repro.net.protocol import Protocol
 
 

@@ -20,7 +20,7 @@ Binding holds because a successful opening at a wrong value would factor
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field as dc_field
+from dataclasses import dataclass
 from typing import Sequence
 
 from repro.crypto.hashing import hash_to_int

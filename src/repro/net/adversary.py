@@ -15,10 +15,10 @@ Two orthogonal powers, matching the threat model of Section 2.1:
 
 from __future__ import annotations
 
+import dataclasses
 import random
 from typing import Callable, Iterable, Optional
 
-from repro.net.delays import DelayModel
 from repro.net.envelope import Envelope
 from repro.net.payload import Payload
 
@@ -106,15 +106,9 @@ class MutateBehavior(Behavior):
             return []
         if mutated is envelope.payload:
             return [envelope]
-        return [
-            Envelope(
-                path=envelope.path,
-                sender=envelope.sender,
-                recipient=envelope.recipient,
-                payload=mutated,
-                depth=envelope.depth,
-            )
-        ]
+        # replace() keeps the routing fields — including the session id —
+        # so a mutated payload still reaches the instance it targets.
+        return [dataclasses.replace(envelope, payload=mutated)]
 
 
 class EquivocateBehavior(Behavior):
@@ -141,15 +135,7 @@ class EquivocateBehavior(Behavior):
         forged = self.forger(envelope.payload, rng)
         if forged is None:
             return []
-        return [
-            Envelope(
-                path=envelope.path,
-                sender=envelope.sender,
-                recipient=envelope.recipient,
-                payload=forged,
-                depth=envelope.depth,
-            )
-        ]
+        return [dataclasses.replace(envelope, payload=forged)]
 
 
 # -- adversarial scheduling ------------------------------------------------------------
@@ -198,6 +184,35 @@ class TargetedLagScheduler(Scheduler):
         if time >= self.horizon:
             return base_delay
         if envelope.sender in self.targets or envelope.recipient in self.targets:
+            return base_delay * self.factor
+        return base_delay
+
+
+class SessionLagScheduler(Scheduler):
+    """Slows every message of one protocol session by ``factor``.
+
+    Models an adversary that stalls an entire root instance — e.g. the
+    current DKG epoch — while leaving other sessions on the same network
+    untouched.  Delays stay finite, so the stalled session still
+    terminates eventually (almost-sure termination is delayed, never
+    broken); the interesting question is whether *fresh* sessions
+    injected into the live network complete while the old one crawls.
+    """
+
+    def __init__(self, session: int, factor: float = 1000.0) -> None:
+        if factor < 1:
+            raise ValueError("factor must be >= 1 to keep delays finite")
+        self.session = session
+        self.factor = factor
+
+    def schedule(
+        self,
+        rng: random.Random,
+        envelope: Envelope,
+        base_delay: float,
+        time: float,
+    ) -> float:
+        if envelope.session == self.session:
             return base_delay * self.factor
         return base_delay
 

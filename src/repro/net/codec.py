@@ -28,7 +28,10 @@ Every value is a one-byte tag followed by tag-specific content:
 ====  ==========================================================
 
 Structs are registered with :func:`register` under a stable numeric id
-(the ids below are part of the wire format; never reuse one).  A
+(the ids below are part of the wire format; never reuse one).  The field
+count doubles as the struct's format version: the envelope accepts the
+five-field pre-session encoding (decoding it as session 0) so mixed-era
+peers interoperate; all other structs require an exact count.  A
 registered dataclass is encoded as its fields in declaration order, so
 ``decode(encode(x)) == x`` for every registered type whose fields are
 themselves encodable.  Sets and dicts are serialized in sorted-encoding
@@ -438,10 +441,18 @@ def _decode_from(data: bytes, pos: int, depth: int = 0) -> tuple[Any, int]:
         cls, fields, checkers = entry
         count, pos = _read_uvarint(data, pos)
         if count != len(fields):
-            raise CodecError(
-                f"field count mismatch for {cls.__name__}: "
-                f"expected {len(fields)}, got {count}"
-            )
+            # Wire-format versioning for the envelope: the pre-session
+            # format carried five fields (no ``session``); such frames
+            # decode with the trailing session defaulted to 0, so old
+            # single-session traffic keeps routing.  Every other struct
+            # stays strict.
+            if not (cls is _envelope_type and count == len(fields) - 1):
+                raise CodecError(
+                    f"field count mismatch for {cls.__name__}: "
+                    f"expected {len(fields)}, got {count}"
+                )
+            fields = fields[:count]
+            checkers = checkers[:count]
         values = []
         for name, checker in zip(fields, checkers):
             value, pos = _decode_from(data, pos, depth + 1)
@@ -524,9 +535,11 @@ def decode_envelope(data: bytes) -> Any:
         raise CodecError("envelope path is not hashable") from exc
     if not isinstance(value.payload, Payload):
         raise CodecError("envelope payload is not a registered Payload")
-    for field_name in ("sender", "recipient", "depth"):
+    for field_name in ("sender", "recipient", "depth", "session"):
         if not isinstance(getattr(value, field_name), int):
             raise CodecError(f"envelope {field_name} must be an int")
+    if value.session < 0:
+        raise CodecError("envelope session must be non-negative")
     return value
 
 

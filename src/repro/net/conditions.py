@@ -13,7 +13,7 @@ runs callbacks registered before or after resolution.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from typing import Any, Callable
 
 
 class Completion:

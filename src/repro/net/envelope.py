@@ -1,9 +1,16 @@
 """Routed message envelopes.
 
 An envelope carries a payload between two parties together with the
-*instance path* that addresses the protocol instance inside the
-recipient's stack (e.g. ``("nwh", "view", 3, "pe", "gather", "vrb", 2)``)
-and the sender's causal depth, used for round accounting.
+full instance address inside the recipient's stack: the *session id*
+(which root protocol run this message belongs to — a party may host
+several concurrent root instances, e.g. pipelined ADKG epochs) and the
+*instance path* below that session's root (e.g.
+``("nwh", "view", 3, "pe", "gather", "vrb", 2)``), plus the sender's
+causal depth, used for round accounting.
+
+On the wire the session id is the sixth envelope field; frames from the
+pre-session wire format carry five fields and decode as session 0 (see
+:mod:`repro.net.codec`), so old single-session traffic routes unchanged.
 """
 
 from __future__ import annotations
@@ -29,6 +36,7 @@ class Envelope:
     recipient: int
     payload: Payload
     depth: int
+    session: int = 0
 
     def word_size(self) -> int:
         """Words on the wire: the payload plus one routing word."""
@@ -40,8 +48,9 @@ class Envelope:
         return words + 1
 
     def describe(self) -> str:
+        prefix = f"s{self.session}:" if self.session else ""
         return (
             f"{self.sender}->{self.recipient} "
-            f"{'/'.join(str(part) for part in self.path)} "
+            f"{prefix}{'/'.join(str(part) for part in self.path)} "
             f"{self.payload.type_name()}"
         )

@@ -1,16 +1,36 @@
-"""One party's protocol stack: routing, buffering, condition sweeps.
+"""One party's protocol stack: session multiplexing, routing, buffering.
 
-The party owns a tree of protocol instances addressed by path, an outbox
-drained by the runtime, and the condition registry.  Messages that arrive
-for a path that has not been spawned yet are buffered and replayed on
-spawn — in an asynchronous network a peer may race ahead and message a
-sub-protocol the local party has not started.
+The party hosts a :class:`SessionTable` of concurrent *sessions* — each
+session is one root protocol instance (e.g. one ADKG epoch) with its own
+tree of sub-instances addressed by path, its own "upon" condition
+registry, its own deterministic RNG stream and its own terminal result.
+Session 0 is the default, so single-session callers (``run_root`` /
+``party.result``) read exactly as before the session layer existed.
+
+Messages that arrive for a path that has not been spawned yet are
+buffered and replayed on spawn — in an asynchronous network a peer may
+race ahead and message a sub-protocol the local party has not started.
+The buffering is bounded along every axis an attacker controls, so a
+Byzantine peer spraying fictitious addresses cannot grow memory without
+bound: at most ``pending_cap`` payloads per (session, path), at most
+``8 * pending_cap`` buffered payloads per session in total (which also
+bounds the number of per-path buckets), and at most
+``session_backlog_cap`` root-less sessions (states created by incoming
+traffic before the local party started the session).  Everything beyond
+a cap is dropped and counted.  Sessions the application actually starts
+are bounded by the application itself (e.g. the epoch driver's sliding
+window).
+Completed sessions can be garbage-collected (:meth:`Party.collect_session`):
+their instance tree, buffered messages and conditions are freed, the
+result is kept as a tombstone, and late traffic for them is dropped and
+counted as stale.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Any, Callable, Optional, TYPE_CHECKING
+from collections import Counter
+from typing import Any, Iterator, Optional, TYPE_CHECKING
 
 from repro.net.conditions import ConditionRegistry
 from repro.net.envelope import Envelope, Path
@@ -21,8 +41,111 @@ if TYPE_CHECKING:
     from repro.crypto.keys import PartySecret, PublicDirectory
 
 
+class SessionState:
+    """Everything one party holds for one root protocol run."""
+
+    __slots__ = (
+        "sid",
+        "instances",
+        "pending",
+        "pending_count",
+        "conditions",
+        "rng",
+        "result",
+        "result_depth",
+        "collected",
+        "backlog_counted",
+    )
+
+    def __init__(self, sid: int, rng: random.Random) -> None:
+        self.sid = sid
+        self.instances: dict[Path, Protocol] = {}
+        self.pending: dict[Path, list[tuple[int, Payload]]] = {}
+        self.pending_count = 0
+        self.conditions = ConditionRegistry()
+        self.rng = rng
+        self.result: Any = _UNSET
+        self.result_depth: Optional[int] = None
+        self.collected = False
+        #: True while this root-less state counts against the party's
+        #: ``session_backlog_cap`` (set only for states allocated by
+        #: *incoming traffic* — local accessors are trusted callers).
+        self.backlog_counted = False
+
+    @property
+    def has_result(self) -> bool:
+        return self.result is not _UNSET
+
+
+class SessionTable:
+    """The party's sessions, created lazily and collectable individually.
+
+    Lazy creation matters for asynchrony: a peer that raced ahead may
+    message session ``s`` before the local party was told to start it —
+    the table then holds a root-less state that buffers those messages
+    until ``run_root`` installs the root.  ``unstarted_count`` tracks the
+    root-less states allocated *by incoming traffic*, so the party can
+    refuse to allocate more than ``session_backlog_cap`` of them for
+    attacker-chosen sids (states created by local accessors are trusted
+    and uncounted).
+    """
+
+    def __init__(self, party: "Party") -> None:
+        self._party = party
+        self._states: dict[int, SessionState] = {}
+        self.unstarted_count = 0
+
+    def peek(self, sid: int) -> Optional[SessionState]:
+        return self._states.get(sid)
+
+    def ensure(self, sid: int, *, count_backlog: bool = False) -> SessionState:
+        state = self._states.get(sid)
+        if state is None:
+            state = SessionState(sid, self._party._derive_rng(sid))
+            self._states[sid] = state
+            if count_backlog:
+                state.backlog_counted = True
+                self.unstarted_count += 1
+        return state
+
+    def mark_started(self, state: SessionState) -> None:
+        """A root was installed: the state no longer counts as backlog."""
+        if state.backlog_counted:
+            state.backlog_counted = False
+            self.unstarted_count -= 1
+
+    def collect(self, sid: int) -> bool:
+        """Free a session's instance/pending/condition state (keep result).
+
+        Returns False if the session does not exist or was already
+        collected.  The tombstone keeps the result (and the ``collected``
+        flag makes :meth:`Party.deliver` drop late traffic for it).
+        """
+        state = self._states.get(sid)
+        if state is None or state.collected:
+            return False
+        if state.backlog_counted:
+            state.backlog_counted = False
+            self.unstarted_count -= 1  # collecting a root-less backlog state
+        state.instances = {}
+        state.pending = {}
+        state.pending_count = 0
+        state.conditions = ConditionRegistry()
+        state.collected = True
+        return True
+
+    def ids(self) -> list[int]:
+        return sorted(self._states)
+
+    def __iter__(self) -> Iterator[SessionState]:
+        return iter(list(self._states.values()))
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+
 class Party:
-    """A single party: protocol instances plus plumbing."""
+    """A single party: a session table of protocol instances plus plumbing."""
 
     def __init__(
         self,
@@ -32,6 +155,10 @@ class Party:
         rng: random.Random,
         directory: Optional["PublicDirectory"] = None,
         secret: Optional["PartySecret"] = None,
+        *,
+        rng_label: Optional[str] = None,
+        pending_cap: Optional[int] = None,
+        session_backlog_cap: int = 64,
     ) -> None:
         self.index = index
         self.n = n
@@ -39,13 +166,31 @@ class Party:
         self.rng = rng
         self._directory = directory
         self._secret = secret
-        self.conditions = ConditionRegistry()
-        self._instances: dict[Path, Protocol] = {}
-        self._pending: dict[Path, list[tuple[int, Payload]]] = {}
-        self._outbox: list[tuple[Path, int, Payload]] = []
+        # Per-session RNG streams derive from this label so that session
+        # ``s`` deals identically whether it runs alone, after another
+        # session, or interleaved with one (the session-equivalence tests
+        # rely on it).  Session 0 keeps the constructor-provided ``rng``
+        # for backward compatibility with single-session seeds.
+        self._rng_label = rng_label if rng_label is not None else f"party-{index}"
+        #: Buffered payloads allowed per not-yet-spawned (session, path);
+        #: generous for honest traffic (a few messages per sender per
+        #: path) yet bounds what a spraying adversary can pin in memory.
+        self.pending_cap = (
+            pending_cap if pending_cap is not None else max(64, 32 * n)
+        )
+        #: Total buffered payloads allowed per session (across all paths)
+        #: — also bounds the number of per-path buckets a session holds.
+        self.pending_budget = 8 * self.pending_cap
+        #: Root-less sessions the party will lazily allocate for incoming
+        #: traffic; honest peers only race ahead by the service's window.
+        self.session_backlog_cap = session_backlog_cap
+        #: Buffer accounting: ``pending.dropped`` (per-path cap hit),
+        #: ``pending.stale`` (traffic for a collected session).  Exposed
+        #: through ``Metrics.counters("pending")`` by the transport.
+        self.drop_stats: Counter = Counter()
+        self.sessions = SessionTable(self)
+        self._outbox: list[tuple[int, Path, int, Payload]] = []
         self.current_depth = 0
-        self.result: Any = _UNSET
-        self.result_depth: Optional[int] = None
         self.halted = False
 
     # -- crypto access ---------------------------------------------------------------
@@ -62,75 +207,184 @@ class Party:
             raise RuntimeError("party has no secret key material configured")
         return self._secret
 
+    # -- session access ----------------------------------------------------------------
+
+    def _derive_rng(self, sid: int) -> random.Random:
+        """Seed a session's stream (called once, at session creation)."""
+        if sid == 0:
+            return self.rng
+        return random.Random(f"{self._rng_label}-session-{sid}")
+
+    def session_rng(self, sid: int) -> random.Random:
+        """The session's deterministic RNG stream (session 0 = base rng).
+
+        One *persistent* ``Random`` per session: repeated draws advance
+        the stream.  (Re-deriving per access would hand every caller the
+        same stream restarted from its seed — independent samplings, e.g.
+        a party's n PVSS dealings within one epoch, would correlate.)
+        """
+        return self.sessions.ensure(sid).rng
+
+    def conditions_for(self, sid: int) -> ConditionRegistry:
+        return self.sessions.ensure(sid).conditions
+
+    @property
+    def conditions(self) -> ConditionRegistry:
+        """Session 0's condition registry (single-session compatibility)."""
+        return self.conditions_for(0)
+
+    def session_result(self, sid: int) -> Any:
+        state = self.sessions.peek(sid)
+        if state is None or not state.has_result:
+            raise LookupError(f"session {sid} has no result at party {self.index}")
+        return state.result
+
+    def session_has_result(self, sid: int) -> bool:
+        state = self.sessions.peek(sid)
+        return state is not None and state.has_result
+
+    @property
+    def result(self) -> Any:
+        state = self.sessions.peek(0)
+        return state.result if state is not None else _UNSET
+
+    @property
+    def result_depth(self) -> Optional[int]:
+        state = self.sessions.peek(0)
+        return state.result_depth if state is not None else None
+
     @property
     def has_result(self) -> bool:
-        return self.result is not _UNSET
+        return self.session_has_result(0)
+
+    def pending_messages(self, session: Optional[int] = None) -> int:
+        """Currently buffered not-yet-routable payloads (one or all sessions)."""
+        if session is not None:
+            state = self.sessions.peek(session)
+            return state.pending_count if state is not None else 0
+        return sum(state.pending_count for state in self.sessions)
+
+    def collect_session(self, sid: int) -> bool:
+        """Garbage-collect a completed session's state; see :class:`SessionTable`."""
+        return self.sessions.collect(sid)
 
     # -- stack management --------------------------------------------------------------
 
-    def run_root(self, protocol: Protocol) -> Protocol:
-        """Install and start the root protocol (path ``()``)."""
-        return self._install((), None, None, protocol)
+    def run_root(self, protocol: Protocol, session: int = 0) -> Protocol:
+        """Install and start a session's root protocol (path ``()``)."""
+        state = self.sessions.ensure(session)
+        if state.collected:
+            raise RuntimeError(
+                f"session {session} was already collected at party {self.index}"
+            )
+        return self._install(state, (), None, None, protocol)
 
     def spawn(self, parent: Protocol, name: Any, child: Protocol) -> Protocol:
         path = parent.path + (name,)
-        return self._install(path, parent, name, child)
+        state = self.sessions.ensure(parent._session)
+        return self._install(state, path, parent, name, child)
 
     def _install(
-        self, path: Path, parent: Optional[Protocol], name: Any, protocol: Protocol
+        self,
+        state: SessionState,
+        path: Path,
+        parent: Optional[Protocol],
+        name: Any,
+        protocol: Protocol,
     ) -> Protocol:
-        if path in self._instances:
-            raise RuntimeError(f"instance already exists at {path!r}")
+        if path in state.instances:
+            raise RuntimeError(
+                f"instance already exists at {path!r} in session {state.sid}"
+            )
         protocol._party = self
         protocol._path = path
         protocol._parent = parent
         protocol._name = name
-        self._instances[path] = protocol
+        protocol._session = state.sid
+        if path == ():
+            self.sessions.mark_started(state)
+        state.instances[path] = protocol
         protocol.on_start()
-        for sender, payload in self._pending.pop(path, []):
+        replay = state.pending.pop(path, [])
+        state.pending_count -= len(replay)
+        for sender, payload in replay:
             protocol.on_message(sender, payload)
         return protocol
 
-    def instance(self, path: Path) -> Optional[Protocol]:
-        return self._instances.get(path)
+    def instance(self, path: Path, session: int = 0) -> Optional[Protocol]:
+        state = self.sessions.peek(session)
+        return state.instances.get(path) if state is not None else None
 
     # -- event handling ------------------------------------------------------------------
 
     def deliver(self, envelope: Envelope) -> None:
-        """Route one delivered envelope, then sweep conditions to fixpoint."""
+        """Route one delivered envelope, then sweep its session's conditions."""
         if self.halted:
             return
         if envelope.depth > self.current_depth:
             self.current_depth = envelope.depth
-        instance = self._instances.get(envelope.path)
+        existing = self.sessions.peek(envelope.session)
+        if existing is not None and existing.collected:
+            # The session finished and was garbage-collected; a straggler
+            # (or a replaying adversary) is talking to a ghost.
+            self.drop_stats["pending.stale"] += 1
+            return
+        if (
+            existing is None
+            and self.sessions.unstarted_count >= self.session_backlog_cap
+        ):
+            # Refuse to allocate yet another root-less session for
+            # attacker-chosen sids: the backlog of sessions this party
+            # has not been told to start is full.
+            self.drop_stats["pending.dropped"] += 1
+            return
+        state = existing if existing is not None else self.sessions.ensure(
+            envelope.session, count_backlog=True
+        )
+        instance = state.instances.get(envelope.path)
         if instance is None:
-            self._pending.setdefault(envelope.path, []).append(
-                (envelope.sender, envelope.payload)
-            )
+            bucket = state.pending.setdefault(envelope.path, [])
+            if (
+                len(bucket) >= self.pending_cap
+                or state.pending_count >= self.pending_budget
+            ):
+                self.drop_stats["pending.dropped"] += 1
+                if not bucket:
+                    # Don't let the refused message leave an empty
+                    # bucket behind (distinct-path spraying).
+                    del state.pending[envelope.path]
+            else:
+                bucket.append((envelope.sender, envelope.payload))
+                state.pending_count += 1
         else:
             instance.on_message(envelope.sender, envelope.payload)
-        self.conditions.run_to_fixpoint()
+        state.conditions.run_to_fixpoint()
 
     def sweep_conditions(self) -> None:
-        self.conditions.run_to_fixpoint()
+        for state in self.sessions:
+            if not state.collected:
+                state.conditions.run_to_fixpoint()
 
     def dispatch_output(self, protocol: Protocol, value: Any) -> None:
         if protocol._parent is not None:
             protocol._parent.on_sub_output(protocol._name, value)
         else:
-            self.result = value
-            self.result_depth = self.current_depth
+            state = self.sessions.ensure(protocol._session)
+            state.result = value
+            state.result_depth = self.current_depth
 
     # -- sending -----------------------------------------------------------------------
 
-    def queue_send(self, path: Path, recipient: int, payload: Payload) -> None:
+    def queue_send(
+        self, path: Path, recipient: int, payload: Payload, session: int = 0
+    ) -> None:
         if self.halted:
             return
         if not 0 <= recipient < self.n:
             raise ValueError(f"recipient {recipient} out of range")
         if not isinstance(payload, Payload):
             raise TypeError(f"payload must be a Payload, got {type(payload)!r}")
-        self._outbox.append((path, recipient, payload))
+        self._outbox.append((session, path, recipient, payload))
 
     def collect_outbox(self) -> list[Envelope]:
         """Drain queued sends into envelopes stamped with the causal depth.
@@ -149,8 +403,9 @@ class Party:
                 recipient=recipient,
                 payload=payload,
                 depth=depth if recipient != self.index else self.current_depth,
+                session=session,
             )
-            for path, recipient, payload in self._outbox
+            for session, path, recipient, payload in self._outbox
         ]
         self._outbox.clear()
         return envelopes

@@ -39,6 +39,7 @@ class Protocol:
         self._path: tuple = ()
         self._parent: Optional["Protocol"] = None
         self._name: Any = None
+        self._session: int = 0
         self._output_done = False
         self.output_value: Any = None
 
@@ -66,6 +67,11 @@ class Protocol:
         return self._path
 
     @property
+    def session(self) -> int:
+        """The session id this instance (and its whole tree) belongs to."""
+        return self._session
+
+    @property
     def me(self) -> int:
         return self.party.index
 
@@ -84,7 +90,8 @@ class Protocol:
 
     @property
     def rng(self) -> random.Random:
-        return self.party.rng
+        """This session's deterministic RNG stream at this party."""
+        return self.party.session_rng(self._session)
 
     @property
     def directory(self) -> "PublicDirectory":
@@ -102,7 +109,7 @@ class Protocol:
 
     def send(self, recipient: int, payload: Payload) -> None:
         """Queue a point-to-point message to ``recipient`` for this instance."""
-        self.party.queue_send(self._path, recipient, payload)
+        self.party.queue_send(self._path, recipient, payload, session=self._session)
 
     def multicast(self, payload: Payload) -> None:
         """Send to every party, self included (the paper's "send to all")."""
@@ -132,8 +139,14 @@ class Protocol:
         once: bool = True,
         label: str = "",
     ) -> Condition:
-        """Register an "upon <predicate>, do <action>" clause."""
-        return self.party.conditions.add(predicate, action, once=once, label=label)
+        """Register an "upon <predicate>, do <action>" clause.
+
+        The clause lives in this *session's* registry: it is swept after
+        events of this session and freed with the session on GC.
+        """
+        return self.party.conditions_for(self._session).add(
+            predicate, action, once=once, label=label
+        )
 
     def completion_when(
         self,

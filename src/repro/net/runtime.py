@@ -60,16 +60,25 @@ class Simulation(Transport):
         self.scheduler = scheduler or Scheduler()
         self.time = 0.0
         self.steps = 0
-        self.output_times: dict[int, float] = {}
+        #: Per-session output times: ``session_output_times[sid][party]``
+        #: is the simulated time at which that party produced the
+        #: session's result.
+        self.session_output_times: dict[int, dict[int, float]] = {}
         self._seq = itertools.count()
         self._queue: list[tuple[float, int, Envelope]] = []
         self._net_rng = random.Random(f"simulation-net-{seed}")
 
     # -- timing ------------------------------------------------------------------------
 
-    def honest_completion_time(self) -> float:
-        """Time by which the last honest party produced its output."""
-        times = [self.output_times[i] for i in self.honest if i in self.output_times]
+    @property
+    def output_times(self) -> dict[int, float]:
+        """Session 0's output times (single-session compatibility view)."""
+        return self.session_output_times.setdefault(0, {})
+
+    def honest_completion_time(self, session: int = 0) -> float:
+        """Time by which the last honest party produced the session's output."""
+        times_for = self.session_output_times.get(session, {})
+        times = [times_for[i] for i in self.honest if i in times_for]
         if not times:
             return float("nan")
         return max(times)
@@ -105,6 +114,15 @@ class Simulation(Transport):
             stop=lambda sim: sim.all_honest_output(),
         )
 
+    def run_until_session_done(
+        self, session: int, max_steps: int = 5_000_000
+    ) -> None:
+        """Deliver until every honest party produced the session's result."""
+        self.run(
+            max_steps=max_steps,
+            stop=lambda sim: sim.session_complete(session),
+        )
+
     def run_sync(
         self, root_factory: RootFactory, timeout: float = 60.0
     ) -> dict[int, Any]:
@@ -132,5 +150,13 @@ class Simulation(Transport):
         return True
 
     def _note_progress(self, party: Party) -> None:
-        if party.has_result and party.index not in self.output_times:
-            self.output_times[party.index] = self.time
+        done = []
+        for session in self._sessions_incomplete:
+            if not party.session_has_result(session):
+                continue
+            times = self.session_output_times.setdefault(session, {})
+            if party.index not in times:
+                times[party.index] = self.time
+            if self.all_honest_output(session):
+                done.append(session)
+        self._sessions_incomplete.difference_update(done)

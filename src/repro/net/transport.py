@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import asyncio
 import random
+from collections import Counter as _Counter
 from typing import Any, Callable, Optional
 
 from repro.crypto.keys import TrustedSetup
@@ -91,9 +92,17 @@ class Transport:
         self.dropped_sends = 0
         self.seed = seed
         self._adv_rng = random.Random(f"{rng_namespace}-adv-{seed}")
+        #: Session ids whose roots have been installed on this network,
+        #: and the subset still awaiting all-honest completion (progress
+        #: notes scan only the latter, so a service running thousands of
+        #: epochs pays O(window), not O(history), per delivery).
+        self._sessions_started: set[int] = set()
+        self._sessions_incomplete: set[int] = set()
         # Party RNG streams are namespace-independent so that the same
         # (seed, index) deals identical PVSS contributions on every
         # transport — the cross-transport equivalence tests rely on it.
+        # The same string doubles as the per-session RNG derivation label,
+        # making session ``s`` transport- and interleaving-independent too.
         self.parties = [
             Party(
                 index=i,
@@ -102,6 +111,7 @@ class Transport:
                 rng=random.Random(f"party-{seed}-{i}"),
                 directory=directory,
                 secret=setup.secret(i),
+                rng_label=f"party-{seed}-{i}",
             )
             for i in range(self.n)
         ]
@@ -116,8 +126,6 @@ class Transport:
         transport construction, so two transports over fresh setups are
         directly comparable.
         """
-        from collections import Counter as _Counter
-
         from repro.net.metrics import counter_delta
 
         verify_stats = directory.verify_cache.stats
@@ -134,6 +142,24 @@ class Transport:
         self.metrics.attach_counters(
             "pairing", lambda: {"pair_calls": pair_group.pair_calls - pair_base}
         )
+        self.metrics.attach_counters("pending", self._pending_counters)
+
+    def _pending_counters(self) -> dict:
+        """Session-buffer accounting aggregated over all parties.
+
+        ``dropped``/``stale`` come from the parties' bounded pending
+        buffers (see :class:`~repro.net.party.Party`); ``buffered`` is a
+        live gauge of payloads currently parked for unspawned paths.
+        """
+        totals = _Counter()
+        buffered = 0
+        for party in self.parties:
+            totals.update(party.drop_stats)
+            buffered += party.pending_messages()
+        counters = {key.split("pending.", 1)[-1]: value for key, value in totals.items()}
+        if buffered:
+            counters["buffered"] = buffered
+        return counters
 
     # -- membership --------------------------------------------------------------------
 
@@ -153,14 +179,37 @@ class Transport:
 
     # -- lifecycle ---------------------------------------------------------------------
 
-    def start(self, root_factory: RootFactory) -> None:
-        """Install the root protocol at every party and flush initial sends."""
+    def start(self, root_factory: RootFactory, session: int = 0) -> None:
+        """Install a session's root at every party and flush initial sends.
+
+        May be called repeatedly with distinct session ids — including on
+        a network that is already carrying traffic — so long-lived
+        deployments can inject new root protocol runs (e.g. the next DKG
+        epoch) without tearing the transport down.
+        """
+        if session in self._sessions_started:
+            raise RuntimeError(f"session {session} already started")
+        self._sessions_started.add(session)
+        self._sessions_incomplete.add(session)
         for party in self.parties:
-            party.run_root(root_factory(party))
+            party.run_root(root_factory(party), session=session)
             party.sweep_conditions()
         for party in self.parties:
             self._flush_party(party)
             self._note_progress(party)
+
+    def start_session(self, session: int, root_factory: RootFactory) -> None:
+        """Alias of :meth:`start` with the session id leading (service layer)."""
+        self.start(root_factory, session=session)
+
+    @property
+    def sessions_started(self) -> frozenset[int]:
+        return frozenset(self._sessions_started)
+
+    def collect_session(self, session: int) -> None:
+        """Garbage-collect a completed session's state at every party."""
+        for party in self.parties:
+            party.collect_session(session)
 
     def run_sync(
         self, root_factory: RootFactory, timeout: float = 60.0
@@ -184,15 +233,21 @@ class Transport:
 
     # -- results -----------------------------------------------------------------------
 
-    def honest_results(self) -> dict[int, Any]:
+    def honest_results(self, session: int = 0) -> dict[int, Any]:
         return {
-            i: self.parties[i].result
+            i: self.parties[i].session_result(session)
             for i in sorted(self.honest)
-            if self.parties[i].has_result
+            if self.parties[i].session_has_result(session)
         }
 
-    def all_honest_output(self) -> bool:
-        return all(self.parties[i].has_result for i in self.honest)
+    def all_honest_output(self, session: int = 0) -> bool:
+        return all(
+            self.parties[i].session_has_result(session) for i in self.honest
+        )
+
+    def session_complete(self, session: int) -> bool:
+        """True once every honest party produced the session's result."""
+        return self.all_honest_output(session)
 
     # -- the shared pipeline -----------------------------------------------------------
 
@@ -304,10 +359,17 @@ class RealtimeTransport(Transport):
     """Shared machinery for runtimes hosted on a live asyncio event loop.
 
     Subclasses implement :meth:`Transport._transmit`; delivery must call
-    :meth:`Transport._deliver_envelope` from the event loop.  ``run``
-    starts every party, waits until all honest parties produced output
-    (or raises :class:`asyncio.TimeoutError`) and returns the honest
-    results.
+    :meth:`Transport._deliver_envelope` from the event loop.  Two usage
+    shapes:
+
+    * one-shot — :meth:`run` starts session 0 at every party, waits until
+      all honest parties produced output (or raises
+      :class:`asyncio.TimeoutError`) and returns the honest results;
+    * long-lived — :meth:`open` the network once, inject sessions with
+      :meth:`Transport.start` / :meth:`Transport.start_session` while
+      traffic is flowing, await each session's own completion future via
+      :meth:`wait_session`, and :meth:`close` at the end.  This is what
+      the epoch-pipelining service layer drives.
     """
 
     def __init__(
@@ -327,13 +389,66 @@ class RealtimeTransport(Transport):
             measure_bytes=measure_bytes,
         )
         self._tasks: set[asyncio.Task] = set()
-        self._all_output = asyncio.Event()
+        self._session_events: dict[int, asyncio.Event] = {}
+        #: Event-loop time at which each session reached all-honest
+        #: completion — the *actual* completion instant, which for
+        #: pipelined sessions awaited out of order can be earlier than
+        #: the moment a waiter observes it.
+        self.session_completion_times: dict[int, float] = {}
         self._failure: Optional[BaseException] = None
+        self._opened = False
+
+    # -- per-session completion --------------------------------------------------------
+
+    def _session_event(self, session: int) -> asyncio.Event:
+        """The session's completion future (created on demand).
+
+        The event also fires on a background-task failure so waiters wake
+        up to re-raise instead of idling into their timeout.
+        """
+        event = self._session_events.get(session)
+        if event is None:
+            event = asyncio.Event()
+            self._session_events[session] = event
+            if self._failure is not None or self.all_honest_output(session):
+                event.set()
+        return event
+
+    async def wait_session(
+        self, session: int, timeout: float = 60.0
+    ) -> dict[int, Any]:
+        """Await one session's completion; returns its honest results.
+
+        Raises :class:`asyncio.TimeoutError` if the session does not
+        complete in time, or the underlying failure if a background task
+        died before the session could complete.
+        """
+        event = self._session_event(session)
+        await asyncio.wait_for(event.wait(), timeout=timeout)
+        if self._failure is not None and not self.all_honest_output(session):
+            raise self._failure
+        return self.honest_results(session)
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    async def open(self) -> None:
+        """Bring up transport resources; idempotent."""
+        if not self._opened:
+            await self._open()
+            self._opened = True
+
+    async def close(self) -> None:
+        """Cancel in-flight work and tear down transport resources."""
+        for task in list(self._tasks):
+            task.cancel()
+        await asyncio.gather(*self._tasks, return_exceptions=True)
+        await self._close()
+        self._opened = False
 
     async def run(
         self, root_factory: RootFactory, timeout: float = 60.0
     ) -> dict[int, Any]:
-        """Start every party; return honest outputs (raises on timeout).
+        """Start every party (session 0); return honest outputs.
 
         ``timeout`` budgets transport setup (``_open``) *and* the wait
         for agreement together; only the synchronous per-party dealing in
@@ -345,20 +460,18 @@ class RealtimeTransport(Transport):
         loop = asyncio.get_running_loop()
         deadline = loop.time() + timeout
         try:
-            # _open() and start() sit inside the one cleanup scope: a
+            # open() and start() sit inside the one cleanup scope: a
             # partial open (one of n*(n-1) connections refused) or a
             # loudly-failing start (honest unencodable payload) must
             # still cancel every already-spawned task and close sockets.
-            await asyncio.wait_for(self._open(), timeout=timeout)
+            await asyncio.wait_for(self.open(), timeout=timeout)
             self.start(root_factory)
-            if not self._all_output.is_set():
+            event = self._session_event(0)
+            if not event.is_set():
                 remaining = max(0.001, deadline - loop.time())
-                await asyncio.wait_for(self._all_output.wait(), timeout=remaining)
+                await asyncio.wait_for(event.wait(), timeout=remaining)
         finally:
-            for task in list(self._tasks):
-                task.cancel()
-            await asyncio.gather(*self._tasks, return_exceptions=True)
-            await self._close()
+            await self.close()
         # A failure recorded during post-success teardown (e.g. a pump hit
         # a reset from a peer already shutting down) does not invalidate a
         # run whose honest parties all produced output.
@@ -386,11 +499,29 @@ class RealtimeTransport(Transport):
         exc = task.exception()
         if exc is not None and self._failure is None:
             self._failure = exc
-            self._all_output.set()  # wake run() so it can re-raise
+            for event in self._session_events.values():
+                event.set()  # wake every waiter so it can re-raise
 
     def _note_progress(self, party: Party) -> None:
-        if self.all_honest_output():
-            self._all_output.set()
+        done = []
+        for session in self._sessions_incomplete:
+            if not self.all_honest_output(session):
+                continue
+            self._stamp_completion(session)
+            event = self._session_events.get(session)
+            if event is not None:
+                # Absent events are fine: _session_event() re-checks
+                # completion when a waiter first creates one.
+                event.set()
+            done.append(session)
+        self._sessions_incomplete.difference_update(done)
+
+    def _stamp_completion(self, session: int) -> None:
+        try:
+            now = asyncio.get_running_loop().time()
+        except RuntimeError:  # outside the loop (e.g. a test calling start())
+            return
+        self.session_completion_times.setdefault(session, now)
 
     # -- subclass hooks ----------------------------------------------------------------
 

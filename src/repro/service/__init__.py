@@ -1,0 +1,37 @@
+"""Long-lived threshold services built on the session-multiplexed engine.
+
+The paper's ADKG is the *setup* step for services that live much longer
+than one protocol run: repeated common coins, randomness beacons,
+proactive key refresh.  This package hosts the first of them:
+
+* :class:`~repro.service.epochs.EpochDriver` — runs a sequence of ADKG
+  *epochs* as concurrent sessions over one live transport, pipelined so
+  epoch ``e+1``'s dealing/sharing phase overlaps epoch ``e``'s agreement
+  phase (``pipeline_depth`` epochs in flight at once), garbage-collecting
+  each completed epoch's protocol state;
+* :class:`~repro.service.beacon.RandomnessBeacon` — a drand-style
+  verifiable randomness stream: each epoch's agreed group key drives
+  threshold-VRF evaluations, chained across epochs so the stream stays
+  linked over key handoffs.
+
+:func:`~repro.service.beacon.run_beacon` is the one-call entry point the
+CLI (``repro beacon``), the pipelining experiment and the session
+benchmark share.
+"""
+
+from repro.service.beacon import (
+    BeaconOutput,
+    BeaconReport,
+    RandomnessBeacon,
+    run_beacon,
+)
+from repro.service.epochs import EpochDriver, EpochResult
+
+__all__ = [
+    "BeaconOutput",
+    "BeaconReport",
+    "EpochDriver",
+    "EpochResult",
+    "RandomnessBeacon",
+    "run_beacon",
+]

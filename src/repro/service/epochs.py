@@ -1,0 +1,182 @@
+"""Epoch pipelining: repeated root-protocol runs over one live network.
+
+An *epoch* is one complete run of a root protocol (by default the ADKG)
+in its own session.  The :class:`EpochDriver` keeps up to
+``pipeline_depth`` epochs in flight at once: epoch ``e + depth`` is
+injected the moment epoch ``e`` completes, so the expensive early phase
+of a fresh epoch (PVSS dealing and share verification) overlaps the
+agreement tail of the epochs ahead of it.  With ``pipeline_depth=1``
+epochs run strictly back-to-back — the baseline the session benchmark
+compares against.
+
+The driver is transport-generic: on the deterministic simulator it
+advances simulated time session-by-session; on the realtime runtimes
+(asyncio, TCP) it opens the network once, injects sessions while traffic
+is flowing and awaits each session's completion future.  Either way a
+completed epoch's protocol state (instance tree, pending buffers,
+condition registry at every party) is garbage-collected before the next
+epoch is admitted, so a service running thousands of epochs holds state
+only for the sliding window.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.net.party import Party
+from repro.net.protocol import Protocol
+from repro.net.runtime import Simulation
+from repro.net.transport import RealtimeTransport, Transport
+
+__all__ = ["EpochDriver", "EpochResult"]
+
+
+def _default_root_factory(party: Party) -> Protocol:
+    from repro.core.adkg import ADKG
+
+    return ADKG()
+
+
+@dataclass
+class EpochResult:
+    """One completed epoch: the agreed value plus completion timing.
+
+    ``started_at``/``completed_at`` are in the transport's native time
+    units — simulated time on the simulator (the asynchronous round
+    measure under ``FixedDelay``), wall-clock seconds since the driver
+    started on realtime transports.
+    """
+
+    epoch: int
+    session: int
+    transcript: Any
+    outputs: dict[int, Any]
+    started_at: float
+    completed_at: float
+
+    @property
+    def public_key(self) -> Any:
+        return getattr(self.transcript, "public_key", None)
+
+    @property
+    def latency(self) -> float:
+        return self.completed_at - self.started_at
+
+    @property
+    def agreed(self) -> bool:
+        values = list(self.outputs.values())
+        return bool(values) and all(v == values[0] for v in values)
+
+
+class EpochDriver:
+    """Run ``epochs`` root-protocol sessions, ``pipeline_depth`` at a time."""
+
+    def __init__(
+        self,
+        transport: Transport,
+        *,
+        epochs: int,
+        pipeline_depth: int = 1,
+        root_factory: Optional[Callable[[Party], Protocol]] = None,
+        session_base: int = 0,
+        gc_completed: bool = True,
+        timeout: float = 120.0,
+        max_steps_per_epoch: int = 5_000_000,
+    ) -> None:
+        if epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        if pipeline_depth < 1:
+            raise ValueError("pipeline_depth must be >= 1")
+        self.transport = transport
+        self.epochs = epochs
+        self.pipeline_depth = pipeline_depth
+        self.root_factory = root_factory or _default_root_factory
+        self.session_base = session_base
+        self.gc_completed = gc_completed
+        self.timeout = timeout
+        self.max_steps_per_epoch = max_steps_per_epoch
+        self.results: list[EpochResult] = []
+        self._started_at: dict[int, float] = {}
+
+    def session_of(self, epoch: int) -> int:
+        return self.session_base + epoch
+
+    # -- driving -----------------------------------------------------------------------
+
+    def run(self) -> list[EpochResult]:
+        """Run all epochs to completion; returns them in epoch order."""
+        if isinstance(self.transport, Simulation):
+            return self._run_sim()
+        if isinstance(self.transport, RealtimeTransport):
+            return asyncio.run(self.run_async())
+        raise TypeError(
+            f"unsupported transport {type(self.transport).__name__!r}"
+        )
+
+    def _run_sim(self) -> list[EpochResult]:
+        sim = self.transport
+        for epoch in range(min(self.pipeline_depth, self.epochs)):
+            self._start_epoch(epoch, now=sim.time)
+        for epoch in range(self.epochs):
+            sid = self.session_of(epoch)
+            sim.run_until_session_done(sid, max_steps=self.max_steps_per_epoch)
+            self._finish_epoch(epoch, now=sim.honest_completion_time(sid))
+            nxt = epoch + self.pipeline_depth
+            if nxt < self.epochs:
+                self._start_epoch(nxt, now=sim.time)
+        return self.results
+
+    async def run_async(self) -> list[EpochResult]:
+        """Drive a realtime transport (must run inside its event loop)."""
+        transport = self.transport
+        if not isinstance(transport, RealtimeTransport):
+            raise TypeError("run_async requires a realtime transport")
+        loop = asyncio.get_running_loop()
+        origin = loop.time()
+        await asyncio.wait_for(transport.open(), timeout=self.timeout)
+        try:
+            for epoch in range(min(self.pipeline_depth, self.epochs)):
+                self._start_epoch(epoch, now=loop.time() - origin)
+            for epoch in range(self.epochs):
+                sid = self.session_of(epoch)
+                await transport.wait_session(sid, timeout=self.timeout)
+                # Use the transport's completion stamp: a pipelined epoch
+                # awaited out of order completed before we observed it.
+                completed = transport.session_completion_times.get(sid)
+                now = (completed if completed is not None else loop.time()) - origin
+                self._finish_epoch(epoch, now=now)
+                nxt = epoch + self.pipeline_depth
+                if nxt < self.epochs:
+                    self._start_epoch(nxt, now=loop.time() - origin)
+        finally:
+            await transport.close()
+        return self.results
+
+    # -- bookkeeping -------------------------------------------------------------------
+
+    def _start_epoch(self, epoch: int, now: float) -> None:
+        sid = self.session_of(epoch)
+        self._started_at[epoch] = now
+        self.transport.start_session(sid, self.root_factory)
+
+    def _finish_epoch(self, epoch: int, now: float) -> None:
+        sid = self.session_of(epoch)
+        outputs = self.transport.honest_results(sid)
+        values = list(outputs.values())
+        if not values or any(v != values[0] for v in values):
+            # Agreement is Theorem 5; a split here is an engine bug, not
+            # a condition to paper over.
+            raise RuntimeError(f"honest parties disagree in session {sid}")
+        result = EpochResult(
+            epoch=epoch,
+            session=sid,
+            transcript=values[0],
+            outputs=outputs,
+            started_at=self._started_at[epoch],
+            completed_at=now,
+        )
+        self.results.append(result)
+        if self.gc_completed:
+            self.transport.collect_session(sid)

@@ -70,8 +70,17 @@ def test_fault_matrix_covers_all_cases():
         "bad-shares",
         "lag-target",
         "lag-random",
+        "crash-then-new-session",
     }
     assert all(row["agreement"] for row in rows)
+    recovery = next(
+        row for row in rows if row["fault"] == "crash-then-new-session"
+    )
+    # The fresh session must land while the lagged one is still in
+    # flight, and the stalled one still terminates eventually (late).
+    assert not recovery["stalled_session_done_first"]
+    assert recovery["rounds"] < recovery["stalled_session_rounds"]
+    assert recovery["valid"]
 
 
 def test_rbc_ablation_rows():

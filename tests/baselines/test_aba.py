@@ -1,7 +1,5 @@
 """Binary ABA baseline: agreement, validity, termination."""
 
-import pytest
-
 from repro.baselines.aba import BinaryAgreement
 from repro.baselines.common_coin import CoinHelper
 from repro.crypto import threshold_vrf as tvrf

@@ -1,7 +1,5 @@
 """Baseline ACS-based ADKG: correctness + the Ω(n⁴)-vs-Õ(n³) comparison."""
 
-import pytest
-
 from repro.baselines.kms_adkg import ACSBasedADKG
 from repro.crypto import threshold_vrf as tvrf
 from repro.net.adversary import SilentBehavior

@@ -1,7 +1,5 @@
 """The constant-size-opening CT broadcast variant (Section 7.1 option)."""
 
-import pytest
-
 from tests.broadcast.helpers import run_broadcast
 
 

@@ -1,6 +1,6 @@
 """Shared harnesses for core-protocol tests."""
 
-from typing import Any, Callable, Optional
+from typing import Callable, Optional
 
 from repro.crypto.keys import TrustedSetup
 from repro.net.party import Party

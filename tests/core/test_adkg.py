@@ -1,12 +1,9 @@
 """A-DKG end-to-end: Theorem 5 plus threshold usefulness of the output."""
 
 import dataclasses
-import random
-
-import pytest
 
 from repro.core.adkg import ADKG, ADKGShare
-from repro.crypto import pvss, threshold_vrf as tvrf
+from repro.crypto import threshold_vrf as tvrf
 from repro.net.adversary import MutateBehavior, RandomLagScheduler, SilentBehavior
 
 from tests.core.helpers import run_protocol
@@ -59,7 +56,9 @@ def test_invalid_share_dealer_is_ignored_but_protocol_finishes():
             return ADKGShare(contribution=bad)
         return payload
 
-    selector = lambda env: isinstance(env.payload, ADKGShare)
+    def selector(env):
+        return isinstance(env.payload, ADKGShare)
+
     sim = run_protocol(
         4,
         _factory(),

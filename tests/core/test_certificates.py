@@ -51,14 +51,20 @@ def test_certificate_needs_quorum_of_distinct_signers(setup):
 
 def test_key_correct_checks_external_validity(setup):
     votes = _votes(setup, certs.KIND_ECHO, VALUE, 2)
-    ok = lambda v: True
-    bad = lambda v: False
+    def ok(v):
+        return True
+
+    def bad(v):
+        return False
+
     assert certs.key_correct(setup.directory, ok, 2, VALUE, votes)
     assert not certs.key_correct(setup.directory, bad, 2, VALUE, votes)
 
 
 def test_view_zero_keys_and_locks_are_vacuous(setup):
-    ok = lambda v: True
+    def ok(v):
+        return True
+
     assert certs.key_correct(setup.directory, ok, 0, VALUE, None)
     assert certs.lock_correct(setup.directory, 0, VALUE, None)
     # ... but commits never are.
@@ -91,7 +97,9 @@ def test_negative_views_rejected(setup):
 
 
 def test_key_tuple_correct(setup):
-    ok = lambda v: True
+    def ok(v):
+        return True
+
     good = certs.KeyTuple(0, VALUE, None)
     assert certs.key_tuple_correct(setup.directory, ok, good)
     assert not certs.key_tuple_correct(setup.directory, ok, "junk")

@@ -1,7 +1,5 @@
 """Verifiable Gather: Theorem 1 properties."""
 
-import pytest
-
 from repro.core.gather import Gather
 from repro.net.adversary import RandomLagScheduler, SilentBehavior
 

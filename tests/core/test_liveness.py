@@ -2,8 +2,6 @@
 
 import random
 
-import pytest
-
 from repro.core.adkg import ADKG
 from repro.core.nwh import NWH, CommitMsg, Suggest
 from repro.core.certificates import KeyTuple

@@ -1,7 +1,5 @@
 """No Waitin' HotStuff: Theorem 4 (agreement, validity, quality, termination)."""
 
-import pytest
-
 from repro.core.nwh import NWH
 from repro.net.adversary import RandomLagScheduler, SilentBehavior, TargetedLagScheduler
 

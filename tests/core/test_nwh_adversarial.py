@@ -4,8 +4,6 @@ of them with f corrupted parties."""
 
 import dataclasses
 
-import pytest
-
 from repro.core import certificates as certs
 from repro.core.nwh import (
     NWH,

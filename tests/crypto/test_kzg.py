@@ -5,7 +5,7 @@ import pytest
 from repro.crypto.kzg import KZGOpening, KZGSetup
 from repro.crypto.pairing import BilinearGroup
 from repro.crypto.params import get_params
-from repro.crypto.vector_commitment import KZGScheme, MerkleScheme, make_scheme
+from repro.crypto.vector_commitment import make_scheme
 
 GROUP = BilinearGroup(get_params("TESTING").q)
 

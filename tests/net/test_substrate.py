@@ -6,7 +6,7 @@ from repro.crypto.keys import TrustedSetup
 from repro.net.adversary import CrashBehavior, SilentBehavior
 from repro.net.delays import ExponentialDelay, FixedDelay, HeavyTailDelay, UniformDelay
 from repro.net.envelope import Envelope
-from repro.net.payload import Payload, words_of
+from repro.net.payload import words_of
 from repro.net.runtime import Simulation
 
 from tests.net.helpers import Blob, EchoAll, ParentChild, Ping, PingPong
@@ -57,9 +57,9 @@ def test_early_messages_are_buffered():
 
     class Root(Protocol):
         def on_start(self):
-            child = self.spawn("later", Recorder())
+            self.spawn("later", Recorder())
 
-    root = party.run_root(Root())
+    party.run_root(Root())
     child = party.instance(("later",))
     assert 1 in child.seen
 

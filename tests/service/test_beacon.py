@@ -1,0 +1,143 @@
+"""The epoch driver and the randomness beacon service."""
+
+import dataclasses
+
+import pytest
+
+from repro.crypto import threshold_vrf as tvrf
+from repro.crypto.keys import TrustedSetup
+from repro.net.delays import FixedDelay
+from repro.net.runtime import Simulation
+from repro.service import EpochDriver, RandomnessBeacon, run_beacon
+from repro.service.beacon import GENESIS
+
+
+def _driver(n=4, seed=1, epochs=2, depth=1, **kwargs):
+    setup = TrustedSetup.generate(n, seed=seed)
+    sim = Simulation(setup, seed=seed, delay_model=FixedDelay(1.0))
+    return setup, EpochDriver(sim, epochs=epochs, pipeline_depth=depth, **kwargs)
+
+
+# -- the epoch driver ------------------------------------------------------------------
+
+
+def test_epochs_complete_in_order_with_fresh_keys():
+    _setup, driver = _driver(epochs=3, depth=2)
+    results = driver.run()
+    assert [r.epoch for r in results] == [0, 1, 2]
+    assert all(r.agreed for r in results)
+    keys = [r.public_key for r in results]
+    assert len({str(k) for k in keys}) == 3  # every epoch rotates the key
+    for result in results:
+        assert result.completed_at >= result.started_at
+
+
+def test_pipelined_epochs_finish_earlier_end_to_end():
+    _setup, sequential = _driver(seed=5, epochs=3, depth=1)
+    _setup, pipelined = _driver(seed=5, epochs=3, depth=2)
+    seq = sequential.run()
+    pipe = pipelined.run()
+    assert pipe[-1].completed_at < seq[-1].completed_at
+    # Pipelining reorders the schedule; it must not change what's agreed.
+    assert [r.transcript for r in pipe] == [r.transcript for r in seq]
+
+
+def test_driver_validates_parameters():
+    setup = TrustedSetup.generate(4, seed=1)
+    sim = Simulation(setup, seed=1)
+    with pytest.raises(ValueError):
+        EpochDriver(sim, epochs=0)
+    with pytest.raises(ValueError):
+        EpochDriver(sim, epochs=1, pipeline_depth=0)
+    with pytest.raises(TypeError):
+        EpochDriver(object(), epochs=1).run()
+
+
+# -- the beacon ------------------------------------------------------------------------
+
+
+def test_beacon_outputs_verify_against_each_epochs_key():
+    setup, driver = _driver(epochs=2, depth=2)
+    results = driver.run()
+    beacon = RandomnessBeacon(setup, rounds_per_epoch=3)
+    for result in results:
+        beacon.emit_epoch(result.epoch, result.transcript)
+    assert len(beacon.outputs) == 2 * 3
+    transcripts = {r.epoch: r.transcript for r in results}
+    for output in beacon.outputs:
+        assert beacon.verify(output, transcripts[output.epoch])
+        # The wrong epoch's key must NOT verify this value.
+        other = transcripts[1 - output.epoch]
+        assert not beacon.verify(output, other)
+    assert beacon.verify_chain(beacon.outputs, transcripts)
+
+
+def test_beacon_chain_is_genesis_rooted_and_tamper_evident():
+    setup, driver = _driver(epochs=2, depth=1)
+    results = driver.run()
+    beacon = RandomnessBeacon(setup, rounds_per_epoch=2)
+    for result in results:
+        beacon.emit_epoch(result.epoch, result.transcript)
+    transcripts = {r.epoch: r.transcript for r in results}
+    outputs = beacon.outputs
+    assert outputs[0].prev == GENESIS
+    for previous, current in zip(outputs, outputs[1:]):
+        assert current.prev == previous.value  # linked across the epoch handoff
+    # Tampering with a value breaks both the value check and the chain.
+    forged = dataclasses.replace(outputs[1], value=outputs[1].value ^ 1)
+    assert not beacon.verify(forged, transcripts[forged.epoch])
+    tampered = [outputs[0], forged] + outputs[2:]
+    assert not beacon.verify_chain(tampered, transcripts)
+    # Reordering breaks linkage even though each value verifies alone.
+    assert not beacon.verify_chain(outputs[::-1], transcripts)
+
+
+def test_beacon_value_is_unique_across_signer_subsets():
+    """Definition 2: any f+1 shares combine to the same beacon value."""
+    setup, driver = _driver(n=4, epochs=1)
+    results = driver.run()
+    f = setup.directory.f
+    one = RandomnessBeacon(setup, rounds_per_epoch=1, signers=range(f + 1))
+    two = RandomnessBeacon(setup, rounds_per_epoch=1, signers=range(1, f + 2))
+    [a] = one.emit_epoch(0, results[0].transcript)
+    [b] = two.emit_epoch(0, results[0].transcript)
+    assert a.value == b.value
+
+
+def test_beacon_rejects_invalid_transcript():
+    setup, driver = _driver(epochs=1)
+    results = driver.run()
+    beacon = RandomnessBeacon(setup)
+    bad = dataclasses.replace(
+        results[0].transcript, tags=results[0].transcript.tags[:1]
+    )
+    with pytest.raises(ValueError):
+        beacon.emit_epoch(0, bad)
+
+
+# -- the one-call service --------------------------------------------------------------
+
+
+def test_run_beacon_end_to_end_on_sim():
+    report = run_beacon(n=4, epochs=3, pipeline_depth=2, seed=3)
+    assert report.all_verified
+    assert report.epochs == 3
+    assert len(report.outputs) == 3 * report.rounds_per_epoch
+    assert len({o.value for o in report.outputs}) == len(report.outputs)
+    assert report.end_to_end > 0
+    assert report.words_total > 0
+    # Each epoch's transcript passes the paper's DKGVerify.
+    setup = TrustedSetup.generate(4, seed=3)
+    for result in report.epoch_results:
+        assert tvrf.DKGVerify(setup.directory, result.transcript)
+
+
+def test_run_beacon_over_realtime_transports():
+    for kind in ("asyncio", "tcp"):
+        report = run_beacon(
+            n=4, epochs=2, pipeline_depth=2, transport=kind, seed=2, timeout=60
+        )
+        assert report.all_verified, kind
+        assert len(report.epoch_results) == 2
+        if kind == "tcp":
+            assert report.bytes_total > 0

@@ -63,6 +63,26 @@ def test_run_timeout_reports_cleanly(capsys):
     assert "no agreement within" in capsys.readouterr().err
 
 
+def test_beacon_command(capsys):
+    code = main(
+        ["beacon", "-n", "4", "--seed", "1", "--epochs", "3", "--pipeline-depth", "2"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "beacon outputs verified:  True" in out
+    assert out.count("beacon 0.") == 2  # default --rounds 2
+    assert "epochs/sec" in out
+
+
+def test_beacon_rejects_bad_depth(capsys):
+    code = main(["beacon", "-n", "4", "--epochs", "0"])
+    assert code == 2
+    assert "must be >= 1" in capsys.readouterr().err
+    code = main(["beacon", "-n", "4", "--rounds", "0"])
+    assert code == 2
+    assert "must be >= 1" in capsys.readouterr().err
+
+
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
