@@ -94,7 +94,9 @@ def run_adkg(
     setup: Optional[TrustedSetup] = None,
     transport: str = "sim",
     measure_bytes: Optional[bool] = None,
+    batching: Optional[bool] = None,
     timeout: float = 120.0,
+    max_steps: Optional[int] = None,
 ) -> ADKGResult:
     """Run one A-DKG over the selected transport and return result + metrics.
 
@@ -103,7 +105,11 @@ def run_adkg(
     with random sleeps) or ``"tcp"`` (real loopback stream sockets with
     the byte codec; always byte-metered).  ``delay_model``, ``scheduler``
     and ``to_quiescence`` apply to the simulator only; combining them
-    with a realtime transport raises ``ValueError``.
+    with a realtime transport raises ``ValueError``.  ``batching``
+    toggles the coalesced message plane (``None`` = the transport's
+    default, which is on); protocol word/byte totals are identical
+    either way — batching changes frames and wall clock, not the
+    protocol's accounting.
 
     With the default ``delay_model=FixedDelay(1.0)`` the simulator's
     reported ``rounds`` equals the length of the longest causal message
@@ -113,13 +119,16 @@ def run_adkg(
     Theorems 6-10 bound).
     """
     if transport != "sim" and (
-        to_quiescence or delay_model is not None or scheduler is not None
+        to_quiescence
+        or delay_model is not None
+        or scheduler is not None
+        or max_steps is not None
     ):
         # Refuse rather than silently return numbers measured under
         # different semantics than the caller asked for.
         raise ValueError(
-            "to_quiescence, delay_model and scheduler apply to the sim "
-            f"transport only, not {transport!r}"
+            "to_quiescence, delay_model, scheduler and max_steps apply to "
+            f"the sim transport only, not {transport!r}"
         )
     setup = setup or TrustedSetup.generate(n, f, params=params, seed=seed)
     root_factory = lambda party: ADKG(broadcast_kind=broadcast_kind)  # noqa: E731
@@ -132,6 +141,8 @@ def run_adkg(
         # None means "the transport's default": off for sim/asyncio, and
         # always-on for TCP (which refuses measure_bytes=False).
         transport_kwargs["measure_bytes"] = measure_bytes
+    if batching is not None:
+        transport_kwargs["batching"] = batching
     runtime = make_transport(
         transport,
         setup,
@@ -139,11 +150,17 @@ def run_adkg(
         seed=seed,
         **transport_kwargs,
     )
+    step_kwargs = {"max_steps": max_steps} if max_steps is not None else {}
     if to_quiescence:
         # Simulator only (validated above): keep running after agreement
         # so words_total counts every message ever sent.
         runtime.start(root_factory)
-        runtime.run()
+        runtime.run(**step_kwargs)
+    elif step_kwargs:
+        # A raised delivery budget (n=100 sends ~9M messages — past the
+        # default 5M-delivery guard) only makes sense on the simulator.
+        runtime.start(root_factory)
+        runtime.run_until_all_honest_output(**step_kwargs)
     else:
         runtime.run_sync(root_factory, timeout=timeout)
     return _collect_result(runtime, transport)

@@ -39,6 +39,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             to_quiescence=args.full,
             transport=args.transport,
             measure_bytes=True,
+            batching=not args.no_batching,
             timeout=args.timeout,
         )
     except TimeoutError:
@@ -61,12 +62,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
         stats = pstats.Stats(profiler, stream=buffer).sort_stats("cumulative")
         stats.print_stats(20)
         print(buffer.getvalue())
+    summary = result.metrics_summary
     print(f"n={result.n} f={result.f} seed={args.seed} transport={result.transport}")
     print(f"agreed:        {result.agreed}")
     print(f"contributors:  {sorted(result.transcript.contributors)}")
     print(f"words sent:    {result.words_total:,}")
     print(f"messages sent: {result.messages_total:,}")
     print(f"bytes on wire: {result.bytes_total:,}")
+    frames = summary.get("frames_total", 0)
+    if frames:
+        print(
+            f"wire frames:   {frames:,} "
+            f"(saved {summary['frames_saved']:,}, "
+            f"{summary['batch_occupancy_mean']:.1f} envelopes/frame, "
+            f"max {summary['batch_occupancy_max']})"
+        )
+        if summary.get("wire_bytes_total"):
+            print(
+                f"coalesced to:  {summary['wire_bytes_total']:,} bytes "
+                f"(saved {summary['wire_bytes_saved']:,} vs unbatched)"
+            )
+    else:
+        print("wire frames:   unbatched (one per message)")
     print(f"async rounds:  {result.rounds:.0f}")
     print(f"NWH views:     {result.views}")
     print(f"wall clock:    {elapsed:.2f}s")
@@ -209,6 +226,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile",
         action="store_true",
         help="wrap the run in cProfile and print the top-20 cumulative entries",
+    )
+    run_p.add_argument(
+        "--no-batching",
+        action="store_true",
+        help="disable the coalesced message plane (per-envelope reference plane)",
     )
     run_p.set_defaults(func=_cmd_run)
 

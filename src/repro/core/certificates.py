@@ -113,8 +113,8 @@ def vote_valid(
             view,
         )
 
-    return directory.verify_cache.memoize(
-        "cert-vote", (vote, kind, digest, view), check
+    return directory.verify_cache.identity_memoize(
+        "cert-vote", vote, (kind, digest, view), (vote, kind, digest, view), check
     )
 
 

@@ -150,8 +150,12 @@ def verify_contribution(
     """
     if not isinstance(contribution, PVSSContribution):
         return False
-    return directory.verify_cache.memoize(
+    # Identity-first: the same frozen contribution object fans out to n-1
+    # recipients in-process, so repeats skip even the content hashing.
+    return directory.verify_cache.identity_memoize(
         "pvss-contrib",
+        contribution,
+        (),
         (contribution,),
         lambda: _verify_contribution(directory, contribution),
     )
@@ -222,8 +226,10 @@ def verify_transcript(
     """
     if not isinstance(transcript, PVSSTranscript):
         return False
-    return directory.verify_cache.memoize(
+    return directory.verify_cache.identity_memoize(
         "pvss-transcript",
+        transcript,
+        (min_contributors,),
         (transcript, min_contributors),
         lambda: _verify_transcript(directory, transcript, min_contributors),
     )

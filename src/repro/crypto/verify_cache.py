@@ -117,14 +117,48 @@ class VerifyCache:
     (values the codec could not encode — always recomputed).
     """
 
-    __slots__ = ("_results", "stats")
+    __slots__ = ("_results", "stats", "_identity")
 
     def __init__(self) -> None:
         self._results: dict[tuple, Any] = {}
         self.stats: Counter = Counter()
+        self._identity: dict[str, IdentityMemo] = {}
 
     def __len__(self) -> int:
         return len(self._results)
+
+    def identity_memoize(
+        self,
+        domain: str,
+        obj: Any,
+        context: tuple,
+        parts: tuple,
+        compute: Callable[[], T],
+    ) -> T:
+        """:meth:`memoize` with an object-identity fast layer in front.
+
+        When the *same immutable object* is checked repeatedly under the
+        same ``context`` (an in-process multicast fans one frozen payload
+        out to n-1 recipients), the verdict is returned from an
+        ``id``-keyed memo without hashing anything.  Any context mismatch
+        — e.g. a replayed object under a different claimed sender — falls
+        through to the content-addressed layer, which re-keys on the
+        canonical bytes of ``parts``; a different object with equal bytes
+        still hits there.  Counted as a hit: the request was served from
+        cache.
+        """
+        memo = self._identity.get(domain)
+        if memo is None:
+            memo = self._identity[domain] = IdentityMemo()
+        entry = memo.get(obj)
+        if entry is not None and entry[0] == context:
+            stats = self.stats
+            stats[f"{domain}.calls"] += 1
+            stats[f"{domain}.hits"] += 1
+            return entry[1]
+        result = self.memoize(domain, parts, compute)
+        memo.put(obj, (context, result))
+        return result
 
     def memoize(self, domain: str, parts: tuple, compute: Callable[[], T]) -> T:
         """Return ``compute()``, served from the cache when possible.

@@ -6,13 +6,16 @@ implementations are genuinely transport-agnostic — they run unchanged
 over asyncio with real concurrent delivery, which is how a deployment
 would host them.
 
-Each network envelope becomes an ``asyncio`` task that sleeps for a
-random delay and then delivers; self-addressed envelopes are delivered
-inline.  Words/messages are metered exactly like the simulator (pass
+On the unbatched plane each network envelope becomes an ``asyncio`` task
+that sleeps for a random delay and then delivers; self-addressed
+envelopes are delivered inline.  On the batched plane (default) one
+activation's sends are grouped per (sender, recipient) link and each
+group becomes *one* task with one sleep, delivered as a unit — the
+task-per-envelope overhead amortizes just like the TCP runtime's frames.
+Words/messages are metered exactly like the simulator (pass
 ``measure_bytes=True`` to also meter codec bytes).  The outbox/behavior/
 metrics pipeline is the shared :class:`~repro.net.transport.Transport`
-one; only the in-flight mechanism (a sleeping task per envelope) lives
-here.
+one; only the in-flight mechanism lives here.
 """
 
 from __future__ import annotations
@@ -22,9 +25,14 @@ import random
 from typing import Optional
 
 from repro.crypto.keys import TrustedSetup
+from repro.net import codec
 from repro.net.adversary import Behavior
 from repro.net.envelope import Envelope
-from repro.net.transport import RealtimeTransport, RootFactory
+from repro.net.transport import (
+    FRAME_HEADER_BYTES,
+    RealtimeTransport,
+    RootFactory,
+)
 
 __all__ = ["AsyncioRuntime", "RootFactory"]
 
@@ -39,6 +47,7 @@ class AsyncioRuntime(RealtimeTransport):
         behaviors: Optional[dict[int, Behavior]] = None,
         seed: int = 0,
         measure_bytes: bool = False,
+        batching: bool = True,
     ) -> None:
         super().__init__(
             setup,
@@ -46,6 +55,7 @@ class AsyncioRuntime(RealtimeTransport):
             seed,
             rng_namespace="asyncio-runtime",
             measure_bytes=measure_bytes,
+            batching=batching,
         )
         self.max_delay = max_delay
         self._delay_rng = random.Random(f"asyncio-runtime-net-{seed}")
@@ -59,3 +69,30 @@ class AsyncioRuntime(RealtimeTransport):
     async def _deliver_later(self, envelope: Envelope) -> None:
         await asyncio.sleep(self._delay_rng.uniform(0.0, self.max_delay))
         self._deliver_envelope(envelope)
+
+    def _transmit_coalesced(self, batch: list) -> None:
+        """One sleeping task per (sender, recipient) link per flush."""
+        groups: dict[tuple[int, int], list[Envelope]] = {}
+        for envelope, _nbytes, _delay in batch:
+            pair = (envelope.sender, envelope.recipient)
+            group = groups.get(pair)
+            if group is None:
+                groups[pair] = group = []
+            group.append(envelope)
+        for envelopes in groups.values():
+            nbytes = None
+            if self.measure_bytes:
+                try:
+                    nbytes = FRAME_HEADER_BYTES + codec.encoded_batch_size(
+                        envelopes
+                    )
+                except codec.CodecError:
+                    nbytes = None  # forged unencodable payload in group
+            self.metrics.record_frame(len(envelopes), nbytes)
+            self._spawn(self._deliver_batch_later(envelopes))
+
+    async def _deliver_batch_later(self, envelopes: list[Envelope]) -> None:
+        await asyncio.sleep(self._delay_rng.uniform(0.0, self.max_delay))
+        for envelope in envelopes:
+            self._deliver_buffered(envelope)
+        self._flush_coalesced()

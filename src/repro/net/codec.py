@@ -44,8 +44,30 @@ a Byzantine dealer's malformed bytes surface as a clean error (mapped to
 "dealer faulty" upstream), never as attacker-controlled object
 construction the way ``pickle.loads`` would allow.
 
-See DESIGN.md section 3 for how the codec slots into the transport
-architecture.
+Batch frames
+------------
+The batched message plane coalesces several envelopes into one wire
+frame.  A batch frame body is versioned and self-describing::
+
+    0xB5 (magic)  0x01 (version)
+    uvarint k     k x (uvarint length + payload encoding)
+    uvarint m     m x (uvarint payload-index +
+                       tuple(path, sender, recipient, depth, session))
+
+The payload table deduplicates *within* the frame: a multicast payload
+carried by several envelopes of one frame is serialized once and
+referenced by index.  ``0xB5`` can never open a single-envelope frame
+(those always start with the struct tag ``0x10``), so
+:func:`decode_batch` transparently accepts legacy single-envelope frames
+and returns them as one-element batches — mixed-era peers interoperate.
+:func:`encode_batch` of a single envelope likewise emits the legacy
+single-envelope encoding.  Decoding is as strict as everywhere else:
+bad magic/version, truncated tables, out-of-range payload indices,
+blob-length mismatches, non-``Payload`` table entries, malformed headers
+and trailing bytes all raise :class:`CodecError`.
+
+See DESIGN.md sections 3 and 8 for how the codec slots into the
+transport architecture and the batched message plane.
 """
 
 from __future__ import annotations
@@ -65,9 +87,21 @@ __all__ = [
     "decode",
     "encode_envelope",
     "decode_envelope",
+    "encode_batch",
+    "decode_batch",
     "encoded_size",
+    "encoded_envelope_size",
+    "encoded_batch_size",
     "encode_stats",
 ]
+
+#: First body byte of a multi-envelope batch frame.  Deliberately outside
+#: the codec tag space: a legacy single-envelope frame always starts with
+#: ``_TAG_STRUCT`` (0x10), so the two formats are distinguishable from
+#: their first byte.
+BATCH_MAGIC = 0xB5
+#: Batch frame format version (second body byte).
+BATCH_VERSION = 0x01
 
 #: Encode-once fan-out accounting: ``payload.calls`` counts every payload
 #: struct encoding request, ``payload.hits`` the ones served from the
@@ -302,22 +336,7 @@ def _encode_into(out: bytearray, value: Any) -> None:
             )
         type_id, fields = entry
         if type(value) in _memoized_types:
-            encode_stats["payload.calls"] += 1
-            cached = _payload_memo.get(value)
-            if cached is not None:
-                encode_stats["payload.hits"] += 1
-                out.extend(cached)
-                return
-            encode_stats["payload.misses"] += 1
-            chunk = bytearray()
-            chunk.append(_TAG_STRUCT)
-            _write_uvarint(chunk, type_id)
-            _write_uvarint(chunk, len(fields))
-            for name in fields:
-                _encode_into(chunk, getattr(value, name))
-            buffer = bytes(chunk)
-            _payload_memo.put(value, buffer)
-            out.extend(buffer)
+            out.extend(_payload_struct_bytes(value))
             return
         out.append(_TAG_STRUCT)
         _write_uvarint(out, type_id)
@@ -326,26 +345,63 @@ def _encode_into(out: bytearray, value: Any) -> None:
             for name in fields:
                 field_value = getattr(value, name)
                 if name == "path" and type(field_value) is tuple:
-                    try:
-                        cached = _path_memo.get(field_value)
-                    except TypeError:
-                        # Unhashable path (forged envelope): encode it
-                        # directly; decode_envelope rejects it anyway.
-                        _encode_into(out, field_value)
+                    cached = _path_struct_bytes(field_value)
+                    if cached is not None:
+                        out.extend(cached)
                         continue
-                    if cached is None:
-                        chunk = bytearray()
-                        _encode_into(chunk, field_value)
-                        cached = bytes(chunk)
-                        if len(_path_memo) >= _PATH_MEMO_LIMIT:
-                            _path_memo.clear()
-                        _path_memo[field_value] = cached
-                    out.extend(cached)
-                else:
-                    _encode_into(out, field_value)
+                    # Unhashable path (forged envelope): encode it
+                    # directly; decode_envelope rejects it anyway.
+                _encode_into(out, field_value)
             return
         for name in fields:
             _encode_into(out, getattr(value, name))
+
+
+def _payload_struct_bytes(value: Any, count: bool = True) -> bytes:
+    """The identity-memoized struct encoding of a fan-out payload.
+
+    The caller must have checked ``type(value) in _memoized_types``.
+    ``count=False`` fetches without touching :data:`encode_stats` —
+    wire-layer *reuse* of already-produced bytes (batch assembly, size
+    accounting of built frames) must not distort the encode-once
+    counters the perf harness asserts on.
+    """
+    if count:
+        encode_stats["payload.calls"] += 1
+    cached = _payload_memo.get(value)
+    if cached is not None:
+        if count:
+            encode_stats["payload.hits"] += 1
+        return cached
+    if count:
+        encode_stats["payload.misses"] += 1
+    type_id, fields = _by_type[type(value)]
+    chunk = bytearray()
+    chunk.append(_TAG_STRUCT)
+    _write_uvarint(chunk, type_id)
+    _write_uvarint(chunk, len(fields))
+    for name in fields:
+        _encode_into(chunk, getattr(value, name))
+    buffer = bytes(chunk)
+    _payload_memo.put(value, buffer)
+    return buffer
+
+
+def _path_struct_bytes(path: tuple) -> Optional[bytes]:
+    """The value-memoized encoding of an envelope path; ``None`` if the
+    path is unhashable (forged) and therefore not memoizable."""
+    try:
+        cached = _path_memo.get(path)
+    except TypeError:
+        return None
+    if cached is None:
+        chunk = bytearray()
+        _encode_into(chunk, path)
+        cached = bytes(chunk)
+        if len(_path_memo) >= _PATH_MEMO_LIMIT:
+            _path_memo.clear()
+        _path_memo[path] = cached
+    return cached
 
 
 def encode(value: Any) -> bytes:
@@ -512,17 +568,17 @@ def encode_envelope(envelope: Any) -> bytes:
     return encode(envelope)
 
 
-def decode_envelope(data: bytes) -> Any:
-    """Decode wire bytes into an :class:`~repro.net.envelope.Envelope`.
+def _validate_envelope(value: Any) -> Any:
+    """Shared post-decode envelope validation (single and batch frames).
 
-    The decoded value must be an envelope with an int sender/recipient/
-    depth, a tuple path, and a :class:`~repro.net.payload.Payload`
-    payload — anything else raises :class:`CodecError`.
+    The value must be an envelope with an int sender/recipient/depth/
+    session, a hashable tuple path, and a
+    :class:`~repro.net.payload.Payload` payload — anything else raises
+    :class:`CodecError`.
     """
     from repro.net.envelope import Envelope
     from repro.net.payload import Payload
 
-    value = decode(data)
     if not isinstance(value, Envelope):
         raise CodecError("decoded value is not an Envelope")
     if not isinstance(value.path, tuple):
@@ -543,9 +599,293 @@ def decode_envelope(data: bytes) -> Any:
     return value
 
 
+def decode_envelope(data: bytes) -> Any:
+    """Decode wire bytes into an :class:`~repro.net.envelope.Envelope`.
+
+    The decoded value must be an envelope with an int sender/recipient/
+    depth, a tuple path, and a :class:`~repro.net.payload.Payload`
+    payload — anything else raises :class:`CodecError`.
+    """
+    return _validate_envelope(decode(data))
+
+
 def encoded_size(value: Any) -> int:
     """Bytes ``value`` occupies on the wire (without transport framing)."""
     return len(encode(value))
+
+
+# -- batch frames ----------------------------------------------------------------------
+
+
+def _uvarint_size(value: int) -> int:
+    """Bytes :func:`_write_uvarint` emits for ``value`` (>= 0)."""
+    if value < 128:  # the overwhelmingly common case on the size path
+        return 1
+    return (value.bit_length() + 6) // 7
+
+
+def _int_field_size(value: int) -> int:
+    """Encoded size of an exact-``int`` value (tag byte + zigzag varint)."""
+    zigzagged = value << 1 if value >= 0 else ((-value) << 1) - 1
+    # Small-int fast paths: indices, depths and sessions live here.
+    if zigzagged < 128:
+        return 2
+    if zigzagged < 16384:
+        return 3
+    if zigzagged.bit_length() > _MAX_INT_BITS:
+        raise CodecError(f"integer exceeds the codec bound ({_MAX_INT_BITS} bits)")
+    return 1 + (zigzagged.bit_length() + 6) // 7
+
+
+def encoded_envelope_size(envelope: Any) -> int:
+    """``len(encode_envelope(envelope))`` without materializing the bytes.
+
+    The batched plane meters every send with its *unbatched* frame size
+    (protocol byte accounting is batching-invariant); this composes that
+    size from the payload/path memo entries instead of re-encoding the
+    whole envelope per recipient.  Falls back to a full encode for any
+    envelope shape outside the honest fast path, so the result is exactly
+    ``len(encode(envelope))`` in every case (or :class:`CodecError` where
+    that would raise).
+    """
+    _ensure_registered()
+    if type(envelope) is not _envelope_type:
+        return len(encode(envelope))
+    path = envelope.path
+    payload = envelope.payload
+    if (
+        type(path) is not tuple
+        or type(payload) not in _memoized_types
+        or type(envelope.sender) is not int
+        or type(envelope.recipient) is not int
+        or type(envelope.depth) is not int
+        or type(envelope.session) is not int
+    ):
+        return len(encode(envelope))
+    path_bytes = _path_struct_bytes(path)
+    if path_bytes is None:
+        return len(encode(envelope))
+    # Counting mirrors the unbatched metering encode: one payload.calls
+    # (and hit/miss) per metered send.
+    payload_bytes = _payload_struct_bytes(payload)
+    type_id, fields = _by_type[_envelope_type]
+    return (
+        1
+        + _uvarint_size(type_id)
+        + _uvarint_size(len(fields))
+        + len(path_bytes)
+        + _int_field_size(envelope.sender)
+        + _int_field_size(envelope.recipient)
+        + len(payload_bytes)
+        + _int_field_size(envelope.depth)
+        + _int_field_size(envelope.session)
+    )
+
+
+def _batch_payload_bytes(payload: Any) -> bytes:
+    """One payload's encoding for batch assembly (never counts stats)."""
+    _ensure_registered()
+    if type(payload) in _memoized_types:
+        return _payload_struct_bytes(payload, count=False)
+    return encode(payload)
+
+
+def _batch_header_into(out: bytearray, envelope: Any) -> None:
+    """Append one envelope's routing header (everything but the payload)."""
+    out.append(_TAG_TUPLE)
+    _write_uvarint(out, 5)
+    path = envelope.path
+    cached = _path_struct_bytes(path) if type(path) is tuple else None
+    if cached is not None:
+        out.extend(cached)
+    else:
+        _encode_into(out, path)
+    _encode_into(out, envelope.sender)
+    _encode_into(out, envelope.recipient)
+    _encode_into(out, envelope.depth)
+    _encode_into(out, envelope.session)
+
+
+def encode_batch(envelopes: Any) -> bytes:
+    """Encode several envelopes into one coalesced wire frame body.
+
+    Payloads are deduplicated within the frame (a multicast payload
+    shared by k envelopes of the frame is serialized once); a batch of
+    one envelope is emitted in the legacy single-envelope format, so
+    every output of this function is decodable by :func:`decode_batch`
+    and single-envelope outputs also by :func:`decode_envelope`.
+    """
+    _ensure_registered()
+    envelopes = list(envelopes)
+    if not envelopes:
+        raise CodecError("cannot encode an empty batch")
+    if len(envelopes) == 1:
+        return encode_envelope(envelopes[0])
+    for envelope in envelopes:
+        if type(envelope) is not _envelope_type:
+            raise CodecError(
+                f"expected Envelope, got {type(envelope).__name__}"
+            )
+    blobs: list[bytes] = []
+    index_by_bytes: dict[bytes, int] = {}
+    records: list[tuple[int, Any]] = []
+    for envelope in envelopes:
+        blob = _batch_payload_bytes(envelope.payload)
+        index = index_by_bytes.get(blob)
+        if index is None:
+            index = len(blobs)
+            index_by_bytes[blob] = index
+            blobs.append(blob)
+        records.append((index, envelope))
+    out = bytearray((BATCH_MAGIC, BATCH_VERSION))
+    _write_uvarint(out, len(blobs))
+    for blob in blobs:
+        _write_uvarint(out, len(blob))
+        out.extend(blob)
+    _write_uvarint(out, len(records))
+    for index, envelope in records:
+        _write_uvarint(out, index)
+        _batch_header_into(out, envelope)
+    return bytes(out)
+
+
+def encoded_batch_size(
+    envelopes: Any, body_sizes: Optional[list[int]] = None
+) -> int:
+    """``len(encode_batch(envelopes))`` without materializing the bytes.
+
+    Lets in-process transports (the simulator) account the wire bytes a
+    coalesced frame *would* occupy — and therefore the bytes batching
+    saves — from the same memo entries the metering uses, at O(1) cost
+    per envelope.  ``body_sizes`` optionally supplies each envelope's
+    already-known single-frame body size (``encoded_envelope_size``); an
+    envelope's batch header is then derived algebraically — every
+    envelope encoding is ``3 + path + ints + payload`` bytes and its
+    batch header is ``2 + path + ints``, so ``header = body - payload - 1``
+    — instead of re-sizing the fields.
+    """
+    _ensure_registered()
+    envelopes = list(envelopes)
+    if not envelopes:
+        raise CodecError("cannot encode an empty batch")
+    if len(envelopes) == 1:
+        if body_sizes is not None:
+            return body_sizes[0]
+        return encoded_envelope_size(envelopes[0])
+    blob_total = 0
+    blob_count = 0
+    index_by_bytes: dict[bytes, int] = {}
+    total = 0
+    for position, envelope in enumerate(envelopes):
+        if type(envelope) is not _envelope_type:
+            raise CodecError(f"expected Envelope, got {type(envelope).__name__}")
+        blob = _batch_payload_bytes(envelope.payload)
+        index = index_by_bytes.get(blob)
+        if index is None:
+            index = blob_count
+            index_by_bytes[blob] = index
+            blob_count += 1
+            size = len(blob)
+            blob_total += _uvarint_size(size) + size
+        if body_sizes is not None:
+            header = body_sizes[position] - len(blob) - 1
+        else:
+            path = envelope.path
+            path_bytes = (
+                _path_struct_bytes(path) if type(path) is tuple else None
+            )
+            if (
+                path_bytes is not None
+                and type(envelope.sender) is int
+                and type(envelope.recipient) is int
+                and type(envelope.depth) is int
+                and type(envelope.session) is int
+            ):
+                header = (
+                    2  # tuple tag + count (5 < 128)
+                    + len(path_bytes)
+                    + _int_field_size(envelope.sender)
+                    + _int_field_size(envelope.recipient)
+                    + _int_field_size(envelope.depth)
+                    + _int_field_size(envelope.session)
+                )
+            else:
+                chunk = bytearray()
+                _batch_header_into(chunk, envelope)
+                header = len(chunk)
+        total += _uvarint_size(index) + header
+    return (
+        total
+        + 2  # magic + version
+        + _uvarint_size(blob_count)
+        + blob_total
+        + _uvarint_size(len(envelopes))
+    )
+
+
+def decode_batch(data: bytes) -> list:
+    """Decode one wire frame body into its list of envelopes.
+
+    Accepts both formats: a body opening with :data:`BATCH_MAGIC` is
+    parsed as a multi-envelope batch frame; anything else is decoded as
+    one legacy single-envelope frame.  Every envelope passes the same
+    validation :func:`decode_envelope` applies; any malformation raises
+    :class:`CodecError`.
+    """
+    _ensure_registered()
+    if not isinstance(data, (bytes, bytearray, memoryview)):
+        raise CodecError(f"expected bytes, got {type(data).__name__}")
+    data = bytes(data)
+    if not data:
+        raise CodecError("empty frame")
+    if data[0] != BATCH_MAGIC:
+        return [decode_envelope(data)]
+    if len(data) < 2:
+        raise CodecError("truncated batch frame")
+    if data[1] != BATCH_VERSION:
+        raise CodecError(f"unsupported batch frame version {data[1]}")
+    from repro.net.payload import Payload
+
+    pos = 2
+    blob_count, pos = _read_uvarint(data, pos)
+    if blob_count == 0 or blob_count > len(data):
+        raise CodecError("batch payload table count out of range")
+    payloads = []
+    for _ in range(blob_count):
+        length, pos = _read_uvarint(data, pos)
+        if pos + length > len(data):
+            raise CodecError("truncated batch payload blob")
+        value, end = _decode_from(data, pos)
+        if end != pos + length:
+            raise CodecError("batch payload blob length mismatch")
+        if not isinstance(value, Payload):
+            raise CodecError("batch payload is not a registered Payload")
+        payloads.append(value)
+        pos = end
+    envelope_count, pos = _read_uvarint(data, pos)
+    if envelope_count == 0 or envelope_count > len(data):
+        raise CodecError("batch envelope count out of range")
+    envelopes = []
+    for _ in range(envelope_count):
+        index, pos = _read_uvarint(data, pos)
+        if index >= blob_count:
+            raise CodecError("batch payload index out of range")
+        header, pos = _decode_from(data, pos)
+        if not isinstance(header, tuple) or len(header) != 5:
+            raise CodecError("malformed batch envelope header")
+        path, sender, recipient, depth, session = header
+        envelope = _envelope_type(
+            path=path,
+            sender=sender,
+            recipient=recipient,
+            payload=payloads[index],
+            depth=depth,
+            session=session,
+        )
+        envelopes.append(_validate_envelope(envelope))
+    if pos != len(data):
+        raise CodecError(f"{len(data) - pos} trailing bytes after batch")
+    return envelopes
 
 
 # -- built-in registrations ------------------------------------------------------------

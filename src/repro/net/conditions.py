@@ -100,11 +100,24 @@ class ConditionRegistry:
         Actions may register new conditions or change state that satisfies
         other conditions; the loop keeps sweeping until a full pass fires
         nothing.  ``max_rounds`` guards against a pathological livelock.
+
+        This runs once per delivered event, so the no-work pass is kept
+        allocation-free: each pass visits exactly the conditions present
+        when it started (actions only ever *append*, so indexing is
+        stable — conditions registered mid-pass are picked up by the next
+        pass, same as the historical snapshot semantics), and the list is
+        rebuilt only when something actually deactivated.
         """
+        conditions = self._conditions
+        if not conditions:
+            return
         for _ in range(max_rounds):
             fired = False
-            for condition in list(self._conditions):
+            deactivated = False
+            for index in range(len(conditions)):
+                condition = conditions[index]
                 if not condition.active:
+                    deactivated = True
                     continue
                 try:
                     ready = condition.predicate()
@@ -116,9 +129,13 @@ class ConditionRegistry:
                     continue
                 if condition.once:
                     condition.active = False
+                    deactivated = True
                 condition.action()
                 fired = True
-            self._conditions = [c for c in self._conditions if c.active]
+            if deactivated:
+                self._conditions = conditions = [
+                    c for c in conditions if c.active
+                ]
             if not fired:
                 return
         raise RuntimeError("condition registry did not reach a fixpoint")

@@ -29,8 +29,17 @@ Path = tuple
 _word_size_memo = IdentityMemo()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True, weakref_slot=True)
 class Envelope:
+    """One routed message.
+
+    Slotted: envelopes are the single most-allocated object of a run
+    (one per recipient per send), and the sim's bulk-delivery engine
+    holds whole timesteps of them in memory at once — ``__slots__``
+    drops the per-instance dict and speeds field access on the hot
+    scheduler path.  The weakref slot keeps them identity-memoizable.
+    """
+
     path: Path
     sender: int
     recipient: int

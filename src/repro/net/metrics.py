@@ -1,4 +1,4 @@
-"""Word, message and round metering — plus hot-path work counters.
+"""Word, message, round and frame metering — plus hot-path work counters.
 
 Every send is recorded with its full instance path and payload type, so
 experiments can report both totals (Theorems 6-10 measure total words)
@@ -16,6 +16,14 @@ deltas against its construction-time baseline, so ``counters("verify")``
 is "work done by this run" — the structural quantity the perf harness
 (``benchmarks/bench_hotpath.py``) asserts speedups on, independent of
 wall-clock noise.
+
+The batched message plane adds *frame* accounting on top: every send is
+still metered individually (``bytes_total`` is the batching-invariant
+protocol byte metric — the sum of unbatched per-envelope frame sizes),
+while :meth:`Metrics.record_frame` counts the coalesced frames actually
+produced, their occupancy, and the bytes they occupy on the wire
+(``wire_bytes_total``); ``frames_saved`` / ``wire_bytes_saved`` are the
+amortization the plane delivers.  See DESIGN.md section 8.
 """
 
 from __future__ import annotations
@@ -36,6 +44,40 @@ def counter_delta(live: Mapping[str, int], baseline: Mapping[str, int]) -> dict:
     }
 
 
+#: Instance paths repeat for every message of an instance, but layer
+#: attribution re-derived the layer names from the path parts on every
+#: send.  Value-keyed memo (paths are small hashable tuples; the layer
+#: list is a pure function of the path), bounded like the codec's path
+#: memo.
+_path_layers_memo: dict[tuple, tuple[str, ...]] = {}
+_PATH_LAYERS_LIMIT = 8192
+
+
+def _path_layers(path: tuple) -> tuple[str, ...]:
+    try:
+        cached = _path_layers_memo.get(path)
+    except TypeError:
+        cached = None  # unhashable (forged) path: derive without caching
+    else:
+        if cached is None:
+            cached = _derive_layers(path)
+            if len(_path_layers_memo) >= _PATH_LAYERS_LIMIT:
+                _path_layers_memo.clear()
+            _path_layers_memo[path] = cached
+        return cached
+    return _derive_layers(path)
+
+
+def _derive_layers(path: tuple) -> tuple[str, ...]:
+    layers = []
+    for part in path:
+        if isinstance(part, str):
+            layers.append(part)
+        elif isinstance(part, tuple) and part and isinstance(part[0], str):
+            layers.append(part[0])
+    return tuple(layers)
+
+
 @dataclass
 class Metrics:
     words_total: int = 0
@@ -48,6 +90,18 @@ class Metrics:
     bytes_by_type: Counter = field(default_factory=Counter)
     max_depth: int = 0
     deliveries: int = 0
+    #: Coalesced wire frames the batched message plane actually produced
+    #: (zero on the unbatched plane, where every envelope is its own
+    #: frame and no batch accounting runs).
+    frames_total: int = 0
+    #: Largest number of envelopes observed in one frame.
+    batch_occupancy_max: int = 0
+    #: Actual bytes the coalesced frames occupy on the wire (transport
+    #: framing included), where measurable.  ``bytes_total`` stays the
+    #: *protocol* byte metric — the sum of unbatched per-envelope frame
+    #: sizes, byte-identical with batching on or off — so the difference
+    #: is exactly what coalescing saved.
+    wire_bytes_total: int = 0
     counter_providers: dict[str, Callable[[], dict]] = field(
         default_factory=dict, repr=False, compare=False
     )
@@ -68,20 +122,53 @@ class Metrics:
         if nbytes is not None:
             self.bytes_total += nbytes
             self.bytes_by_type[type_name] += nbytes
-        for part in envelope.path:
-            layer = None
-            if isinstance(part, str):
-                layer = part
-            elif isinstance(part, tuple) and part and isinstance(part[0], str):
-                layer = part[0]
-            if layer is not None:
-                self.words_by_layer[layer] += words
-                self.messages_by_layer[layer] += 1
+        for layer in _path_layers(envelope.path):
+            self.words_by_layer[layer] += words
+            self.messages_by_layer[layer] += 1
 
     def record_delivery(self, envelope: Envelope) -> None:
         self.deliveries += 1
         if envelope.depth > self.max_depth:
             self.max_depth = envelope.depth
+
+    def record_frame(self, envelopes: int, nbytes: int | None = None) -> None:
+        """Record one coalesced wire frame of ``envelopes`` envelopes.
+
+        ``nbytes`` is the frame's actual on-wire size (transport framing
+        included) where the transport can measure or compose it; ``None``
+        when wire bytes are not being metered.
+        """
+        self.frames_total += 1
+        if envelopes > self.batch_occupancy_max:
+            self.batch_occupancy_max = envelopes
+        if nbytes is not None:
+            self.wire_bytes_total += nbytes
+
+    @property
+    def frames_saved(self) -> int:
+        """Per-envelope frames the coalescing plane avoided.
+
+        Envelopes still sitting in an unflushed coalescing buffer when a
+        run stops are metered as sends but not yet framed, so this is a
+        (tight) lower bound of zero on the unbatched plane.
+        """
+        if not self.frames_total:
+            return 0
+        return max(0, self.messages_total - self.frames_total)
+
+    @property
+    def batch_occupancy_mean(self) -> float:
+        """Mean envelopes per coalesced frame (0.0 when not batching)."""
+        if not self.frames_total:
+            return 0.0
+        return self.messages_total / self.frames_total
+
+    @property
+    def wire_bytes_saved(self) -> int:
+        """Protocol bytes minus actual wire bytes (what coalescing saved)."""
+        if not self.frames_total or not self.wire_bytes_total:
+            return 0
+        return max(0, self.bytes_total - self.wire_bytes_total)
 
     def words_for_layer(self, layer: str) -> int:
         return self.words_by_layer.get(layer, 0)
@@ -100,6 +187,12 @@ class Metrics:
             "words_total": self.words_total,
             "messages_total": self.messages_total,
             "bytes_total": self.bytes_total,
+            "frames_total": self.frames_total,
+            "frames_saved": self.frames_saved,
+            "batch_occupancy_mean": round(self.batch_occupancy_mean, 2),
+            "batch_occupancy_max": self.batch_occupancy_max,
+            "wire_bytes_total": self.wire_bytes_total,
+            "wire_bytes_saved": self.wire_bytes_saved,
             "max_depth": self.max_depth,
             "deliveries": self.deliveries,
             "words_by_layer": dict(self.words_by_layer),

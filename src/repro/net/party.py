@@ -395,6 +395,8 @@ class Party:
         inflate the asynchronous round measure (``metrics.max_depth``)
         past the paper's network-hop count.
         """
+        if not self._outbox:
+            return []  # the common case: most deliveries queue no sends
         depth = self.current_depth + 1
         envelopes = [
             Envelope(

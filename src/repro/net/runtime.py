@@ -5,15 +5,31 @@ it owns the delay model and the (possibly adversarial) scheduler, and
 executes the shared delivery pipeline over a priority queue of pending
 deliveries:
 
-1. pop the earliest envelope, deliver it to its recipient's party (which
-   routes it, runs handlers and sweeps "upon" conditions);
-2. drain every party's outbox: self-addressed envelopes are delivered
-   immediately (local computation — no words metered, no delay), network
-   envelopes get a delay from the model/scheduler and are pushed.
+1. pop the earliest batch of envelopes, deliver each to its recipient's
+   party (which routes it, runs handlers and sweeps "upon" conditions);
+2. drain every touched party's outbox: self-addressed envelopes are
+   delivered immediately (local computation — no words metered, no
+   delay), network envelopes are metered into the coalescing buffer and
+   scheduled in bulk before the next queue pop.
 
 The outbox-draining, Byzantine-behavior and metrics logic lives in the
 shared :class:`~repro.net.transport.Transport` base; this class adds only
 simulated time.
+
+Bulk delivery (the batched plane, on by default): every envelope still
+gets its *own* delay draw from the model and its own pass through the
+adversarial scheduler — in exactly the creation order the unbatched
+plane would use, so the RNG streams are untouched — but envelopes that
+land on the same delivery instant share one heap entry.  Under
+``FixedDelay`` a whole timestep's sends collapse into a handful of heap
+entries, and the engine pops them back as one batch.  Delivery order is
+provably identical to the unbatched plane: within a shared entry the
+creation order is preserved, across entries the heap orders by
+(time, push sequence), and two envelopes with the same delivery time are
+either in the same entry (same flush) or in entries pushed in creation
+order (different flushes) — the exact tie-break the per-envelope plane
+applies.  ``batching=False`` selects that per-envelope reference plane,
+byte-for-byte the pre-batching engine.
 
 Determinism: all randomness flows from one master seed; ties in the queue
 break by insertion sequence.  The asynchronous model's eventual-delivery
@@ -24,15 +40,22 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import operator
+from collections import deque
 from typing import Any, Callable, Optional
 import random
 
 from repro.crypto.keys import TrustedSetup
+from repro.net import codec
 from repro.net.adversary import Behavior, Scheduler
-from repro.net.delays import DelayModel, UniformDelay
+from repro.net.delays import DelayModel, FixedDelay, UniformDelay
 from repro.net.envelope import Envelope
 from repro.net.party import Party
-from repro.net.transport import RootFactory, Transport
+from repro.net.transport import (
+    FRAME_HEADER_BYTES,
+    RootFactory,
+    Transport,
+)
 
 __all__ = ["Simulation", "RootFactory"]
 
@@ -48,6 +71,7 @@ class Simulation(Transport):
         behaviors: Optional[dict[int, Behavior]] = None,
         seed: int = 0,
         measure_bytes: bool = False,
+        batching: bool = True,
     ) -> None:
         super().__init__(
             setup,
@@ -55,6 +79,7 @@ class Simulation(Transport):
             seed,
             rng_namespace="simulation",
             measure_bytes=measure_bytes,
+            batching=batching,
         )
         self.delay_model = delay_model or UniformDelay()
         self.scheduler = scheduler or Scheduler()
@@ -65,7 +90,12 @@ class Simulation(Transport):
         #: session's result.
         self.session_output_times: dict[int, dict[int, float]] = {}
         self._seq = itertools.count()
-        self._queue: list[tuple[float, int, Envelope]] = []
+        #: Heap of (time, seq, entry); an entry is a single
+        #: :class:`Envelope` (unbatched plane) or a list of envelopes
+        #: sharing one delivery instant (batched plane).
+        self._queue: list[tuple[float, int, Any]] = []
+        #: Same-instant envelopes already popped and awaiting delivery.
+        self._ready: deque[Envelope] = deque()
         self._net_rng = random.Random(f"simulation-net-{seed}")
 
     # -- timing ------------------------------------------------------------------------
@@ -87,13 +117,35 @@ class Simulation(Transport):
 
     def step(self) -> bool:
         """Deliver one envelope; returns False when the queue is empty."""
-        while self._queue:
-            when, _, envelope = heapq.heappop(self._queue)
-            self.time = max(self.time, when)
+        while True:
+            envelope = self._pop_next()
+            if envelope is None:
+                return False
             self.steps += 1
-            if self._deliver_envelope(envelope):
+            if self._deliver_buffered(envelope):
                 return True
-        return False
+
+    def _pop_next(self) -> Optional[Envelope]:
+        """The next envelope to deliver, advancing time as needed.
+
+        Coalesced sends are flushed (scheduled) before the queue is
+        consulted — they are in-flight traffic, so quiescence is only
+        declared once both the buffer and the queue are empty.
+        """
+        ready = self._ready
+        if not ready:
+            if self._outgoing:
+                self._flush_coalesced()
+            if not self._queue:
+                return None
+            when, _seq, entry = heapq.heappop(self._queue)
+            # Heap pops are nondecreasing in time (delays are strictly
+            # positive), so no max() re-comparison per delivery.
+            self.time = when
+            if type(entry) is not list:
+                return entry
+            ready.extend(entry)
+        return ready.popleft()
 
     def run(
         self,
@@ -101,18 +153,23 @@ class Simulation(Transport):
         stop: Optional[Callable[["Simulation"], bool]] = None,
     ) -> None:
         """Run until quiescence, ``stop`` holds, or ``max_steps`` deliveries."""
-        for _ in range(max_steps):
-            if stop is not None and stop(self):
-                return
-            if not self.step():
-                return
+        step = self.step
+        if stop is None:
+            for _ in range(max_steps):
+                if not step():
+                    return
+        else:
+            for _ in range(max_steps):
+                if stop(self):
+                    return
+                if not step():
+                    return
         raise RuntimeError(f"simulation exceeded {max_steps} deliveries")
 
     def run_until_all_honest_output(self, max_steps: int = 5_000_000) -> None:
-        self.run(
-            max_steps=max_steps,
-            stop=lambda sim: sim.all_honest_output(),
-        )
+        # The unbound method *is* the stop predicate — no per-run lambda
+        # allocation, no extra call frame per delivery.
+        self.run(max_steps=max_steps, stop=Transport.all_honest_output)
 
     def run_until_session_done(
         self, session: int, max_steps: int = 5_000_000
@@ -120,7 +177,7 @@ class Simulation(Transport):
         """Deliver until every honest party produced the session's result."""
         self.run(
             max_steps=max_steps,
-            stop=lambda sim: sim.session_complete(session),
+            stop=operator.methodcaller("session_complete", session),
         )
 
     def run_sync(
@@ -149,14 +206,83 @@ class Simulation(Transport):
         heapq.heappush(self._queue, (self.time + delay, next(self._seq), envelope))
         return True
 
+    def _buffered_delay(self, envelope: Envelope) -> Optional[float]:
+        """Draw the envelope's delivery delay the moment it is buffered.
+
+        This is the point the unbatched plane would call ``_transmit``,
+        so the delay-model and adversary RNG streams are consumed in
+        exactly the same order — interleaved with Byzantine behavior
+        transforms — on both planes.  Returns ``None`` on the fast path
+        (fixed delay + identity scheduler: nothing consumes randomness,
+        the delay is a constant resolved at flush).
+        """
+        if (
+            type(self.delay_model) is FixedDelay
+            and type(self.scheduler) is Scheduler
+        ):
+            return None
+        base = self.delay_model.delay(
+            self._net_rng, envelope.sender, envelope.recipient, self.time
+        )
+        delay = self.scheduler.schedule(self._adv_rng, envelope, base, self.time)
+        if delay <= 0:
+            raise RuntimeError("scheduler produced a non-positive delay")
+        return delay
+
+    def _transmit_coalesced(self, batch: list) -> None:
+        """Schedule one batch, sharing heap entries per delivery instant.
+
+        Delays were drawn per-envelope at buffer time
+        (:meth:`_buffered_delay`); only the heap representation is
+        coalesced here.
+        """
+        time = self.time
+        fixed = (
+            self.delay_model.value
+            if type(self.delay_model) is FixedDelay
+            else None
+        )
+        buckets: dict[float, tuple[list[Envelope], list]] = {}
+        for envelope, nbytes, delay in batch:
+            if delay is None:
+                delay = fixed
+                if delay is None:
+                    # The model/scheduler changed between buffer and
+                    # flush (tests swapping mid-run): draw now.
+                    delay = self._buffered_delay(envelope)
+            when = time + delay
+            bucket = buckets.get(when)
+            if bucket is None:
+                buckets[when] = bucket = ([], [])
+            bucket[0].append(envelope)
+            bucket[1].append(nbytes)
+        record_frame = self.metrics.record_frame
+        for when, (envelopes, sizes) in buckets.items():
+            heapq.heappush(self._queue, (when, next(self._seq), envelopes))
+            nbytes = None
+            if self.measure_bytes and None not in sizes:
+                # What this bucket would cost as one coalesced wire
+                # frame — composed from the already-metered per-envelope
+                # sizes and the codec memos, not encoded.
+                try:
+                    nbytes = FRAME_HEADER_BYTES + codec.encoded_batch_size(
+                        envelopes,
+                        [size - FRAME_HEADER_BYTES for size in sizes],
+                    )
+                except codec.CodecError:
+                    nbytes = None  # forged unencodable payload in bucket
+            record_frame(len(envelopes), nbytes)
+
     def _note_progress(self, party: Party) -> None:
-        done = []
-        for session in self._sessions_incomplete:
-            if not party.session_has_result(session):
-                continue
-            times = self.session_output_times.setdefault(session, {})
-            if party.index not in times:
-                times[party.index] = self.time
-            if self.all_honest_output(session):
-                done.append(session)
-        self._sessions_incomplete.difference_update(done)
+        self._note_progress_sessions(party)
+
+    def _on_session_result(self, session: int, party: Party) -> None:
+        """Stamp the simulated time of the party's first session output.
+
+        Unlike the waiting sets (honest parties only), output times are
+        recorded for every party — behavior-wrapped parties still run an
+        honest stack and their completion instants are data.
+        """
+        times = self.session_output_times.setdefault(session, {})
+        if party.index not in times:
+            times[party.index] = self.time

@@ -9,19 +9,36 @@ recipient's protocol stack — so a full run proves the protocols execute
 unchanged over an actual socket boundary, with nothing shared in memory
 between sender and recipient but bytes.
 
-Framing: a 4-byte big-endian length followed by one
-:func:`repro.net.codec.encode_envelope` frame.  Malformed frames (codec
-errors, oversized lengths, envelopes addressed to a different party or
-carrying an out-of-range sender) are dropped and counted in
-``rejected_frames`` — the Byzantine-input posture of the codec applies
+Framing: a 4-byte big-endian length followed by one frame body.  On the
+batched plane (default) a body is a multi-envelope batch frame
+(:func:`repro.net.codec.encode_batch`) coalescing every envelope one
+activation queued for the same connection, with intra-frame payload
+deduplication; single envelopes — and the whole unbatched plane
+(``batching=False``) — use the legacy single-envelope body, and the
+reader (:func:`repro.net.codec.decode_batch`) accepts both, so
+mixed-plane peers interoperate.  Malformed frames (codec errors,
+oversized lengths) are dropped and counted in ``rejected_frames``, as is
+every decoded envelope addressed to a different party or carrying an
+out-of-range sender — the Byzantine-input posture of the codec applies
 at the transport edge too.  Peer *authentication* is out of scope: an
 in-range sender index is taken at face value, exactly the power the
 paper's Byzantine model grants corrupted parties (a deployment would
 bind sender identity to the connection via TLS or a signed handshake;
 the protocols themselves sign everything that matters).
 
-Byte metering is always on: ``metrics.bytes_total`` counts exactly the
-bytes written to sockets.
+Byte metering is always on: ``metrics.bytes_total`` is the *protocol*
+byte metric — the sum of per-envelope frame sizes, byte-identical with
+batching on or off — while ``metrics.wire_bytes_total`` counts the bytes
+actually written to sockets, so their difference is what coalescing
+saved.
+
+Backpressure: each ordered pair's send queue is a *bounded*
+``asyncio.Queue`` (``send_queue_cap`` frames).  ``drain()`` applies
+socket-level backpressure between frames; if a peer stalls long enough
+that the queue fills anyway, further frames are shed and counted in the
+``tcp.backpressure`` metrics counter (honest runs never hit the cap —
+the drops model a long-lived deployment shedding load instead of
+growing without bound).
 """
 
 from __future__ import annotations
@@ -55,6 +72,8 @@ class TCPRuntime(RealtimeTransport):
         seed: int = 0,
         host: str = "127.0.0.1",
         measure_bytes: bool = True,
+        batching: bool = True,
+        send_queue_cap: int = 1024,
     ) -> None:
         # ``measure_bytes`` exists for call-site uniformity with the other
         # transports, but TCP always meters (the byte counts are the bytes
@@ -65,19 +84,34 @@ class TCPRuntime(RealtimeTransport):
                 "the TCP runtime always meters bytes; measure_bytes=False "
                 "is not supported"
             )
+        if send_queue_cap < 1:
+            raise ValueError("send_queue_cap must be >= 1")
         super().__init__(
             setup,
             behaviors,
             seed,
             rng_namespace="tcp-runtime",
             measure_bytes=True,
+            batching=batching,
         )
         self.host = host
         self.ports: dict[int, int] = {}
         self.rejected_frames = 0
+        self.send_queue_cap = send_queue_cap
+        #: Frames shed because a pair's bounded send queue was full.
+        self.backpressure_drops = 0
         self._servers: list[asyncio.AbstractServer] = []
         self._writers: dict[tuple[int, int], asyncio.StreamWriter] = {}
         self._send_queues: dict[tuple[int, int], asyncio.Queue] = {}
+        self.metrics.attach_counters("tcp", self._tcp_counters)
+
+    def _tcp_counters(self) -> dict:
+        counters = {}
+        if self.backpressure_drops:
+            counters["backpressure"] = self.backpressure_drops
+        if self.rejected_frames:
+            counters["rejected_frames"] = self.rejected_frames
+        return counters
 
     # -- socket lifecycle --------------------------------------------------------------
 
@@ -99,7 +133,10 @@ class TCPRuntime(RealtimeTransport):
                 )
                 pair = (sender, recipient)
                 self._writers[pair] = writer
-                queue: asyncio.Queue = asyncio.Queue()
+                # Bounded: _pump applies socket backpressure via drain();
+                # the cap sheds load if a peer stalls past it (counted in
+                # tcp.backpressure) instead of growing without bound.
+                queue: asyncio.Queue = asyncio.Queue(maxsize=self.send_queue_cap)
                 self._send_queues[pair] = queue
                 self._spawn(self._pump(queue, writer))
 
@@ -117,23 +154,79 @@ class TCPRuntime(RealtimeTransport):
 
     # -- sending -----------------------------------------------------------------------
 
+    def _can_transmit(self, envelope: Envelope) -> bool:
+        return (envelope.sender, envelope.recipient) in self._send_queues
+
     def _transmit(self, envelope: Envelope, frame: bytes | None) -> bool:
         queue = self._send_queues.get((envelope.sender, envelope.recipient))
         if queue is None:
             # A behavior forged an unroutable sender/recipient pair: the
             # pipeline counts it as a dropped send, not a sent message.
             return False
-        queue.put_nowait(frame)
+        try:
+            queue.put_nowait(frame)
+        except asyncio.QueueFull:
+            self.backpressure_drops += 1
+            return False
         return True
+
+    def _transmit_coalesced(self, batch: list) -> None:
+        """Group the batch per connection and frame each group.
+
+        Order per connection is the creation order (FIFO queue, in-frame
+        order preserved by the codec); groups are split so no frame
+        exceeds ``batch_cap_envelopes`` envelopes or ``batch_cap_bytes``
+        of payload body.
+        """
+        groups: dict[tuple[int, int], list] = {}
+        for envelope, nbytes, _delay in batch:
+            pair = (envelope.sender, envelope.recipient)
+            group = groups.get(pair)
+            if group is None:
+                groups[pair] = group = []
+            group.append((envelope, nbytes))
+        cap = self.batch_cap_envelopes
+        byte_cap = min(self.batch_cap_bytes, MAX_FRAME_BYTES // 2)
+        for pair, items in groups.items():
+            queue = self._send_queues.get(pair)
+            if queue is None:
+                # Connection torn down between metering and flush.
+                self.dropped_sends += len(items)
+                continue
+            current: list[Envelope] = []
+            current_bytes = 0
+            for envelope, nbytes in items:
+                body = (nbytes or FRAME_HEADER_BYTES) - FRAME_HEADER_BYTES
+                if current and (
+                    len(current) >= cap or current_bytes + body > byte_cap
+                ):
+                    self._put_frame(queue, current)
+                    current = []
+                    current_bytes = 0
+                current.append(envelope)
+                current_bytes += body
+            if current:
+                self._put_frame(queue, current)
+
+    def _put_frame(self, queue: asyncio.Queue, envelopes: list[Envelope]) -> None:
+        frame = self._batch_frame(envelopes)
+        try:
+            queue.put_nowait(frame)
+        except asyncio.QueueFull:
+            # The envelopes were already metered as sends (offered load);
+            # the shed frame is visible in tcp.backpressure and in
+            # dropped_sends.
+            self.backpressure_drops += 1
+            self.dropped_sends += len(envelopes)
+            return
+        self.metrics.record_frame(len(envelopes), len(frame))
 
     async def _pump(self, queue: asyncio.Queue, writer: asyncio.StreamWriter) -> None:
         """Drain one ordered pair's frames onto its socket.
 
         ``drain()`` applies socket-level backpressure between frames (the
-        pump pauses while the peer's kernel buffers are full); the queue
-        itself is unbounded — ``_transmit`` is synchronous — which is fine
-        here because a protocol run sends a finite, metered number of
-        frames.  A long-lived deployment would cap it and shed load.
+        pump pauses while the peer's kernel buffers are full); producers
+        shed load once the bounded queue fills on top of that.
         """
         while True:
             data = await queue.get()
@@ -165,17 +258,21 @@ class TCPRuntime(RealtimeTransport):
                 except (asyncio.IncompleteReadError, ConnectionError):
                     return
                 try:
-                    envelope = codec.decode_envelope(frame)
+                    envelopes = codec.decode_batch(frame)
                 except codec.CodecError:
                     self.rejected_frames += 1
                     continue
-                if (
-                    envelope.recipient != party
-                    or not 0 <= envelope.sender < self.n
-                    or envelope.depth < 0
-                ):
-                    self.rejected_frames += 1
-                    continue
-                self._deliver_envelope(envelope)
+                for envelope in envelopes:
+                    if (
+                        envelope.recipient != party
+                        or not 0 <= envelope.sender < self.n
+                        or envelope.depth < 0
+                    ):
+                        self.rejected_frames += 1
+                        continue
+                    self._deliver_buffered(envelope)
+                # One flush for the whole frame: the activations it
+                # triggered coalesce into shared outgoing frames.
+                self._flush_coalesced()
         finally:
             writer.close()

@@ -1,11 +1,20 @@
 """Structured execution traces for protocol debugging and analysis.
 
 A :class:`Tracer` hooks a :class:`~repro.net.runtime.Simulation` and
-records every delivery as a structured event (time, sender, recipient,
-instance path, payload type, depth, words).  Traces answer the questions
-protocol debugging actually asks — "when did party 2's PE start emitting
-eval shares?", "which message triggered the view change?" — without
-printf-ing the protocol code.
+records every network delivery as a structured event (time, sender,
+recipient, instance path, payload type, depth, words).  Traces answer the
+questions protocol debugging actually asks — "when did party 2's PE start
+emitting eval shares?", "which message triggered the view change?" —
+without printf-ing the protocol code.
+
+The tracer registers itself as one of the transport's *delivery
+observers*
+(:meth:`~repro.net.transport.Transport.add_delivery_observer`), which
+fire once per successfully delivered network envelope.  This observes
+the bulk-delivery engine directly — no queue snapshots, no per-step
+diffing — so tracing costs O(1) per delivery regardless of how many
+envelopes share a heap entry on the batched plane, and several tracers
+can watch one simulation concurrently.
 
 Filters keep traces small; ``timeline`` and ``summary`` render them.
 """
@@ -51,41 +60,27 @@ class Tracer:
         self.predicate = predicate or (lambda envelope: True)
         self.capacity = capacity
         self.events: list[TraceEvent] = []
-        self._original_step = simulation.step
-        simulation.step = self._traced_step  # type: ignore[method-assign]
+        simulation.add_delivery_observer(self._on_delivery)
 
-    def _traced_step(self) -> bool:
-        before = self.simulation.metrics.deliveries
-        queue_snapshot = list(self.simulation._queue)
-        progressed = self._original_step()
-        if progressed and self.simulation.metrics.deliveries > before:
-            # Find the envelope that was just delivered: it is the earliest
-            # entry of the pre-step queue that is no longer pending.
-            delivered = self._find_delivered(queue_snapshot)
-            if delivered is not None and self.predicate(delivered):
-                if len(self.events) < self.capacity:
-                    self.events.append(
-                        TraceEvent(
-                            time=self.simulation.time,
-                            step=self.simulation.steps,
-                            sender=delivered.sender,
-                            recipient=delivered.recipient,
-                            path=delivered.path,
-                            payload_type=delivered.payload.type_name(),
-                            words=delivered.word_size(),
-                            depth=delivered.depth,
-                        )
-                    )
-        return progressed
+    def _on_delivery(self, envelope: Envelope) -> None:
+        if len(self.events) >= self.capacity or not self.predicate(envelope):
+            return
+        self.events.append(
+            TraceEvent(
+                time=self.simulation.time,
+                step=self.simulation.steps,
+                sender=envelope.sender,
+                recipient=envelope.recipient,
+                path=envelope.path,
+                payload_type=envelope.payload.type_name(),
+                words=envelope.word_size(),
+                depth=envelope.depth,
+            )
+        )
 
-    def _find_delivered(self, snapshot: list) -> Optional[Envelope]:
-        if not snapshot:
-            return None
-        pending_ids = {id(entry[2]) for entry in self.simulation._queue}
-        for _, _, envelope in sorted(snapshot, key=lambda entry: (entry[0], entry[1])):
-            if id(envelope) not in pending_ids:
-                return envelope
-        return None
+    def detach(self) -> None:
+        """Stop observing (the trace keeps its recorded events)."""
+        self.simulation.remove_delivery_observer(self._on_delivery)
 
     # -- queries ---------------------------------------------------------------------
 

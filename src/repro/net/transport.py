@@ -10,7 +10,17 @@ one pipeline every runtime shares:
   no delay), network envelopes pass through the sender's Byzantine
   :class:`~repro.net.adversary.Behavior` transform, are metered (words
   always, codec bytes when ``measure_bytes`` is on) and handed to the
-  subclass's :meth:`Transport._transmit`;
+  subclass's :meth:`Transport._transmit` — or, on the batched plane
+  (``batching=True``, the default), appended to the coalescing buffer;
+* **coalescing** (:meth:`Transport._flush_coalesced`) — buffered sends
+  are handed to the subclass's :meth:`Transport._transmit_coalesced` as
+  one creation-ordered batch at the end of each protocol activation /
+  simulated timestep (and mid-activation when the buffer hits the size
+  cap), so a multicast burst travels as few frames instead of n.
+  *Protocol* word/byte accounting is batching-invariant: every send is
+  metered with its unbatched per-envelope frame size at buffer time;
+  what coalescing changes is tracked separately as frame counts,
+  occupancy and actual wire bytes (``Metrics.record_frame``);
 * **delivery** (:meth:`Transport._deliver_envelope`) — the recipient's
   behavior may swallow the message, otherwise the delivery is recorded,
   routed into the party's protocol stack, the resulting outbox flushed,
@@ -68,6 +78,12 @@ class Transport:
     #: it to :meth:`_transmit`.
     frames_on_wire = False
 
+    #: Coalescing-buffer flush policy: a buffer reaching this many
+    #: envelopes is flushed mid-activation; a wire frame is additionally
+    #: split so its body stays under ``batch_cap_bytes``.
+    batch_cap_envelopes = 256
+    batch_cap_bytes = 1 << 20
+
     def __init__(
         self,
         setup: TrustedSetup,
@@ -76,6 +92,7 @@ class Transport:
         *,
         rng_namespace: str = "transport",
         measure_bytes: bool = False,
+        batching: bool = True,
     ) -> None:
         directory = setup.directory
         self.setup = setup
@@ -87,6 +104,23 @@ class Transport:
                 f"cannot corrupt {len(self.behaviors)} parties with f={self.f}"
             )
         self.measure_bytes = measure_bytes
+        self.batching = batching
+        #: Creation-ordered coalescing buffer of (envelope, metered
+        #: nbytes, buffered-delay) records awaiting
+        #: :meth:`_flush_coalesced`.  Plain tuples on purpose: they are
+        #: the hot scheduler records and tuples are the slot-free
+        #: optimum.  The delay slot is drawn at *append* time via
+        #: :meth:`_buffered_delay` so RNG consumption interleaves with
+        #: Byzantine behavior transforms exactly as on the unbatched
+        #: plane (``None`` on transports without one).
+        self._outgoing: list[tuple[Envelope, Optional[int], Any]] = []
+        #: Last metered envelope's size components, keyed by *object
+        #: identity* of every field but the recipient — a multicast burst
+        #: reuses one size computation for its n-1 siblings.
+        self._size_cache: Optional[tuple] = None
+        #: Per-delivery observers (tracing); each is called with every
+        #: network envelope that was actually delivered.
+        self._delivery_observers: list[Callable[[Envelope], None]] = []
         self.metrics = Metrics()
         self._bind_work_counters(directory)
         self.dropped_sends = 0
@@ -98,6 +132,12 @@ class Transport:
         #: epochs pays O(window), not O(history), per delivery).
         self._sessions_started: set[int] = set()
         self._sessions_incomplete: set[int] = set()
+        #: Per incomplete session: honest parties whose result has not
+        #: been observed yet.  Done-detection discards one index per
+        #: first-result event, so the per-delivery progress note costs
+        #: O(incomplete sessions) dict lookups instead of an O(n) scan
+        #: over all honest parties.
+        self._session_waiting: dict[int, set[int]] = {}
         # Party RNG streams are namespace-independent so that the same
         # (seed, index) deals identical PVSS contributions on every
         # transport — the cross-transport equivalence tests rely on it.
@@ -191,12 +231,14 @@ class Transport:
             raise RuntimeError(f"session {session} already started")
         self._sessions_started.add(session)
         self._sessions_incomplete.add(session)
+        self._session_waiting[session] = set(self.honest)
         for party in self.parties:
             party.run_root(root_factory(party), session=session)
             party.sweep_conditions()
         for party in self.parties:
             self._flush_party(party)
             self._note_progress(party)
+        self._flush_coalesced()
 
     def start_session(self, session: int, root_factory: RootFactory) -> None:
         """Alias of :meth:`start` with the session id leading (service layer)."""
@@ -241,6 +283,12 @@ class Transport:
         }
 
     def all_honest_output(self, session: int = 0) -> bool:
+        # Started sessions are answered from the done-detection
+        # bookkeeping in O(1) — this is the per-delivery stop predicate
+        # of every run_until_* loop.  Sessions this transport never
+        # started (probes in tests) fall back to the direct scan.
+        if session in self._sessions_started:
+            return session not in self._sessions_incomplete
         return all(
             self.parties[i].session_has_result(session) for i in self.honest
         )
@@ -252,8 +300,17 @@ class Transport:
     # -- the shared pipeline -----------------------------------------------------------
 
     def _flush_party(self, party: Party) -> None:
-        """Drain a party's outbox, applying behaviours, metering, transmitting."""
+        """Drain a party's outbox, applying behaviours, metering, transmitting.
+
+        On the batched plane each network envelope is metered with its
+        *unbatched* frame size and appended to the coalescing buffer;
+        the buffer is handed to the subclass at the next
+        :meth:`_flush_coalesced` (end of activation / timestep, or here
+        when the size cap trips mid-activation).
+        """
         pending = party.collect_outbox()
+        behaviors = self.behaviors
+        batching = self.batching
         while pending:
             envelope = pending.pop(0)
             if envelope.recipient == envelope.sender:
@@ -263,28 +320,49 @@ class Transport:
                 party.deliver(envelope)
                 pending.extend(party.collect_outbox())
                 continue
-            behavior = self.behaviors.get(envelope.sender)
+            behavior = behaviors.get(envelope.sender) if behaviors else None
             outgoing = (
                 behavior.transform_outgoing(envelope, self._adv_rng)
                 if behavior is not None
-                else [envelope]
+                else (envelope,)
             )
             for env in outgoing:
-                # Carryability is a property of the wire, never of the
-                # metering flag: byte-metering an in-process transport must
-                # not change which messages arrive.
+                if batching:
+                    if not self._can_transmit(env):
+                        self.dropped_sends += 1
+                        continue
+                    try:
+                        nbytes = self._envelope_nbytes(env)
+                    except codec.CodecError:
+                        if behavior is None and (
+                            self.frames_on_wire or self.measure_bytes
+                        ):
+                            # An honest party produced an unencodable
+                            # payload: a programming error, fail loudly.
+                            raise
+                        if self.frames_on_wire:
+                            # A Byzantine transform forged garbage the
+                            # codec cannot carry — the wire drops it
+                            # before transmission; honest parties live on.
+                            self.dropped_sends += 1
+                            continue
+                        # In-process transport: carryability is a property
+                        # of the wire, never of the metering flag — the
+                        # forged payload travels, its bytes unmetered.
+                        nbytes = None
+                    self.metrics.record_send(env, nbytes=nbytes)
+                    self._outgoing.append((env, nbytes, self._buffered_delay(env)))
+                    if len(self._outgoing) >= self.batch_cap_envelopes:
+                        self._flush_coalesced()
+                    continue
+                # Unbatched plane: the per-envelope reference pipeline.
                 frame = None
                 if self.frames_on_wire:
                     try:
                         frame = self._frame(env)
                     except codec.CodecError:
                         if behavior is None:
-                            # An honest party produced an unencodable
-                            # payload: a programming error, fail loudly.
                             raise
-                        # A Byzantine transform forged garbage the codec
-                        # cannot carry — the wire drops it *before*
-                        # transmission; honest parties live on.
                         self.dropped_sends += 1
                         continue
                 if not self._transmit(env, frame):
@@ -297,8 +375,87 @@ class Transport:
                 )
                 self.metrics.record_send(env, nbytes=nbytes)
 
+    def _envelope_nbytes(self, envelope: Envelope) -> Optional[int]:
+        """The envelope's metered byte size on the batched plane.
+
+        Identical by construction to what the unbatched plane meters —
+        the length of the envelope's own length-prefixed frame — but
+        composed from the codec's payload/path memo entries instead of a
+        full re-encode per recipient, and short-circuited entirely for
+        the siblings of a multicast burst: envelopes whose payload, path,
+        sender, depth and session are the *same objects* as the last
+        metered envelope's differ only in the recipient varint, so the
+        cached base size is adjusted by that one field.  (Identity
+        comparison makes this sound for any value: identical objects
+        encode identically; a merely-equal forgery recomputes.)  ``None``
+        when bytes are not metered on this transport.  Raises
+        :class:`~repro.net.codec.CodecError` for unencodable payloads
+        (the caller maps that to loud-failure or forged-drop exactly
+        like the unbatched plane).
+        """
+        if not (self.frames_on_wire or self.measure_bytes):
+            return None
+        recipient = envelope.recipient
+        if type(recipient) is int and recipient >= 0:
+            recipient_size = 2 if recipient < 64 else 3 if recipient < 8192 else None
+        else:
+            recipient_size = None
+        cached = self._size_cache
+        if (
+            recipient_size is not None
+            and cached is not None
+            and cached[0] is envelope.payload
+            and cached[1] is envelope.path
+            and cached[2] is envelope.sender
+            and cached[3] is envelope.depth
+            and cached[4] is envelope.session
+        ):
+            # The codec counts one payload-encode request per metered
+            # send; a size served from this cache is such a request
+            # served from memo, so the fan-out accounting matches the
+            # unbatched plane's.
+            size = cached[5] + recipient_size
+            if size > MAX_FRAME_BYTES:
+                raise codec.CodecError(
+                    f"envelope frame of {size} bytes exceeds the "
+                    f"{MAX_FRAME_BYTES}-byte wire bound"
+                )
+            stats = codec.encode_stats
+            stats["payload.calls"] += 1
+            stats["payload.hits"] += 1
+            return FRAME_HEADER_BYTES + size
+        size = codec.encoded_envelope_size(envelope)
+        if size > MAX_FRAME_BYTES:
+            raise codec.CodecError(
+                f"envelope frame of {size} bytes exceeds the "
+                f"{MAX_FRAME_BYTES}-byte wire bound"
+            )
+        if recipient_size is not None:
+            self._size_cache = (
+                envelope.payload,
+                envelope.path,
+                envelope.sender,
+                envelope.depth,
+                envelope.session,
+                size - recipient_size,
+            )
+        return FRAME_HEADER_BYTES + size
+
     def _deliver_envelope(self, envelope: Envelope) -> bool:
-        """Deliver one in-flight envelope; False if the adversary ate it."""
+        """Deliver one in-flight envelope and flush its coalesced sends."""
+        result = self._deliver_buffered(envelope)
+        if self._outgoing:
+            self._flush_coalesced()
+        return result
+
+    def _deliver_buffered(self, envelope: Envelope) -> bool:
+        """Deliver one envelope, leaving its sends in the coalescing buffer.
+
+        False if the adversary ate it.  Bulk delivery paths (the sim's
+        same-timestamp batches, a TCP reader working through one frame)
+        call this per envelope and :meth:`_flush_coalesced` once at the
+        end, so one burst of activations coalesces into shared frames.
+        """
         behavior = self.behaviors.get(envelope.recipient)
         if behavior is not None and not behavior.allow_delivery(
             envelope, self._adv_rng
@@ -309,7 +466,89 @@ class Transport:
         recipient.deliver(envelope)
         self._flush_party(recipient)
         self._note_progress(recipient)
+        if self._delivery_observers:
+            for observer in self._delivery_observers:
+                observer(envelope)
         return True
+
+    def add_delivery_observer(
+        self, observer: Callable[[Envelope], None]
+    ) -> None:
+        """Register a per-network-delivery callback (tracing).
+
+        Multiple observers coexist; each sees every delivered envelope.
+        """
+        self._delivery_observers.append(observer)
+
+    def remove_delivery_observer(
+        self, observer: Callable[[Envelope], None]
+    ) -> None:
+        """Unregister a previously added observer (no-op if absent)."""
+        try:
+            self._delivery_observers.remove(observer)
+        except ValueError:
+            pass
+
+    def _buffered_delay(self, envelope: Envelope) -> Any:
+        """Transport-specific in-flight parameter drawn at buffer time.
+
+        The simulator overrides this to draw the envelope's delivery
+        delay (delay model + adversarial scheduler) the moment the
+        envelope is buffered, so the adversary RNG is consumed in
+        exactly the unbatched plane's order — interleaved with the
+        Byzantine behavior transforms — rather than at flush time.
+        """
+        return None
+
+    # -- done-detection ----------------------------------------------------------------
+
+    def _note_progress_sessions(self, party: Party) -> list[int]:
+        """Advance done-detection for one party; return sessions that
+        just reached all-honest completion.
+
+        The single implementation of the waiting-set algorithm both
+        runtimes' ``_note_progress`` hooks build on:
+        :meth:`_on_session_result` fires for every (incomplete session,
+        party-with-result) pair — the subclass's per-result side effect,
+        e.g. the simulator's output-time stamping — then the party is
+        discarded from the session's waiting set, and a session whose
+        waiting set empties is moved out of ``_sessions_incomplete``.
+        """
+        incomplete = self._sessions_incomplete
+        if not incomplete:
+            return []
+        done: list[int] = []
+        index = party.index
+        for session in incomplete:
+            if not party.session_has_result(session):
+                continue
+            self._on_session_result(session, party)
+            waiting = self._session_waiting[session]
+            if index in waiting:
+                waiting.discard(index)
+                if not waiting:
+                    done.append(session)
+        if done:
+            incomplete.difference_update(done)
+            for session in done:
+                del self._session_waiting[session]
+        return done
+
+    def _on_session_result(self, session: int, party: Party) -> None:
+        """Per-(session, party-with-result) side-effect hook.
+
+        Called on every progress note while the session is incomplete —
+        implementations must dedupe themselves (the simulator keys on
+        ``party.index`` already being stamped).
+        """
+
+    def _flush_coalesced(self) -> None:
+        """Hand the coalescing buffer to the transport as one batch."""
+        if not self._outgoing:
+            return
+        batch = self._outgoing
+        self._outgoing = []
+        self._transmit_coalesced(batch)
 
     def _frame(self, envelope: Envelope) -> bytes:
         """The envelope's wire frame: length prefix + codec bytes."""
@@ -351,6 +590,40 @@ class Transport:
         """
         raise NotImplementedError
 
+    def _can_transmit(self, envelope: Envelope) -> bool:
+        """Batched-plane routability check, applied *before* metering.
+
+        Mirrors the unbatched plane's "``_transmit`` returned False"
+        semantics (dropped send, never metered) for envelopes that the
+        transport could not possibly carry — e.g. a forged sender/
+        recipient pair with no TCP connection.
+        """
+        return True
+
+    def _transmit_coalesced(
+        self, batch: list[tuple[Envelope, Optional[int], Any]]
+    ) -> None:
+        """Put one creation-ordered batch of metered envelopes in flight.
+
+        The default falls back to per-envelope :meth:`_transmit` (frame
+        accounting then records occupancy-1 frames), so a minimal
+        subclass only ever implements ``_transmit``.
+        """
+        for envelope, nbytes, _delay in batch:
+            frame = self._frame(envelope) if self.frames_on_wire else None
+            if self._transmit(envelope, frame):
+                self.metrics.record_frame(1, nbytes)
+
+    def _batch_frame(self, envelopes: list[Envelope]) -> bytes:
+        """One coalesced wire frame: length prefix + batch frame body."""
+        body = codec.encode_batch(envelopes)
+        if len(body) > MAX_FRAME_BYTES:
+            raise codec.CodecError(
+                f"batch frame of {len(body)} bytes exceeds the "
+                f"{MAX_FRAME_BYTES}-byte wire bound"
+            )
+        return len(body).to_bytes(FRAME_HEADER_BYTES, "big") + body
+
     def _note_progress(self, party: Party) -> None:
         """Called after a party processed events (done-detection hook)."""
 
@@ -380,6 +653,7 @@ class RealtimeTransport(Transport):
         *,
         rng_namespace: str = "realtime",
         measure_bytes: bool = False,
+        batching: bool = True,
     ) -> None:
         super().__init__(
             setup,
@@ -387,6 +661,7 @@ class RealtimeTransport(Transport):
             seed,
             rng_namespace=rng_namespace,
             measure_bytes=measure_bytes,
+            batching=batching,
         )
         self._tasks: set[asyncio.Task] = set()
         self._session_events: dict[int, asyncio.Event] = {}
@@ -503,18 +778,13 @@ class RealtimeTransport(Transport):
                 event.set()  # wake every waiter so it can re-raise
 
     def _note_progress(self, party: Party) -> None:
-        done = []
-        for session in self._sessions_incomplete:
-            if not self.all_honest_output(session):
-                continue
+        for session in self._note_progress_sessions(party):
             self._stamp_completion(session)
             event = self._session_events.get(session)
             if event is not None:
                 # Absent events are fine: _session_event() re-checks
                 # completion when a waiter first creates one.
                 event.set()
-            done.append(session)
-        self._sessions_incomplete.difference_update(done)
 
     def _stamp_completion(self, session: int) -> None:
         try:

@@ -1,0 +1,348 @@
+"""The batched message plane: batch frames, coalescing, equivalence.
+
+The invariant under test everywhere: batching is a *transport*
+optimization.  Protocol execution — transcripts, word totals, byte
+totals, rounds — is byte-identical with batching on or off, on every
+transport; what changes is the frame count, the batch occupancy and the
+actual bytes on the wire.
+"""
+
+import asyncio
+
+import pytest
+
+from repro import run_adkg
+from repro.crypto.keys import TrustedSetup
+from repro.net import codec
+from repro.net.adversary import RandomLagScheduler
+from repro.net.delays import UniformDelay
+from repro.net.envelope import Envelope
+from repro.net.metrics import Metrics
+from repro.net.runtime import Simulation
+from repro.net.tcp_runtime import TCPRuntime
+
+from tests.net.helpers import Blob, EchoAll, Ping
+
+
+def _env(recipient=1, payload=None, sender=0, depth=1, session=0, path=("layer",)):
+    return Envelope(
+        path=path,
+        sender=sender,
+        recipient=recipient,
+        payload=payload if payload is not None else Ping(7),
+        depth=depth,
+        session=session,
+    )
+
+
+# -- batch frame codec -----------------------------------------------------------------
+
+
+def test_batch_round_trip_and_payload_dedup():
+    shared = Ping(3)
+    envelopes = [_env(recipient=r, payload=shared) for r in range(1, 5)]
+    body = codec.encode_batch(envelopes)
+    assert body[0] == codec.BATCH_MAGIC and body[1] == codec.BATCH_VERSION
+    assert codec.decode_batch(body) == envelopes
+    # The shared payload is serialized once per frame, not once per
+    # envelope: the batch undercuts the sum of single-envelope frames.
+    singles = sum(len(codec.encode_envelope(e)) for e in envelopes)
+    assert len(body) < singles
+    # Distinct payloads still round-trip, in order.
+    mixed = [_env(recipient=1, payload=Ping(1)), _env(recipient=2, payload=Blob(data=(9, 9)))]
+    assert codec.decode_batch(codec.encode_batch(mixed)) == mixed
+
+
+def test_batch_of_one_uses_legacy_format():
+    env = _env()
+    assert codec.encode_batch([env]) == codec.encode_envelope(env)
+
+
+def test_legacy_single_envelope_frame_decodes_as_batch_of_one():
+    env = _env()
+    assert codec.decode_batch(codec.encode_envelope(env)) == [env]
+
+
+def test_malformed_batch_frames_rejected():
+    envelopes = [_env(recipient=1), _env(recipient=2, payload=Ping(8))]
+    body = codec.encode_batch(envelopes)
+    # Truncations at every prefix length must fail closed, never crash.
+    for cut in range(1, len(body)):
+        with pytest.raises(codec.CodecError):
+            codec.decode_batch(body[:cut])
+    with pytest.raises(codec.CodecError):
+        codec.decode_batch(b"")
+    with pytest.raises(codec.CodecError):
+        codec.decode_batch(body + b"\x00")  # trailing bytes
+    with pytest.raises(codec.CodecError):
+        codec.decode_batch(bytes([codec.BATCH_MAGIC, 0x7F]) + body[2:])  # bad version
+    with pytest.raises(codec.CodecError):
+        codec.encode_batch([])
+    # Payload table entries must be registered Payloads.
+    not_payload = bytes([codec.BATCH_MAGIC, codec.BATCH_VERSION])
+    blob = codec.encode(42)
+    not_payload += bytes([len(blob)]) + blob + b"\x01\x00"
+    with pytest.raises(codec.CodecError):
+        codec.decode_batch(not_payload)
+
+
+def test_batch_payload_index_out_of_range_rejected():
+    body = bytearray(codec.encode_batch([_env(recipient=1), _env(recipient=2)]))
+    # Known layout (single shared payload, small sizes, 1-byte varints):
+    # magic, version, blob-count=1, blob-len, blob, m=2, [idx, header]...
+    blob = codec.encode(Ping(7))
+    assert body[2] == 1  # one payload blob
+    pos = 4 + len(blob)
+    assert body[pos] == 2  # envelope count
+    assert body[pos + 1] == 0  # first record's payload index
+    body[pos + 1] = 7  # out of range
+    with pytest.raises(codec.CodecError):
+        codec.decode_batch(bytes(body))
+
+
+def test_batch_header_validation_matches_decode_envelope():
+    # A batch whose header smuggles a non-int sender must be rejected the
+    # same way decode_envelope rejects it.
+    good = _env(recipient=1)
+    body = codec.encode_batch([good, _env(recipient=2)])
+    decoded = codec.decode_batch(body)
+    assert all(isinstance(e, Envelope) for e in decoded)
+    forged = Envelope(
+        path=(), sender="zero", recipient=1, payload=Ping(1), depth=1
+    )
+    with pytest.raises(codec.CodecError):
+        codec.decode_batch(codec.encode_batch([forged, good]))
+
+
+def test_encoded_envelope_size_matches_full_encode():
+    cases = [
+        _env(),
+        _env(path=()),
+        _env(path=("nwh", ("pe", 3), "gather", 12), depth=900, session=41),
+        _env(payload=Blob(data=tuple(range(40)))),
+        _env(recipient=99, sender=77),
+    ]
+    for envelope in cases:
+        assert codec.encoded_envelope_size(envelope) == len(
+            codec.encode(envelope)
+        ), envelope
+
+
+def test_encoded_batch_size_matches_encode_batch():
+    shared = Ping(5)
+    envelopes = [
+        _env(recipient=1, payload=shared),
+        _env(recipient=2, payload=shared),
+        _env(recipient=3, payload=Blob(data=(1, 2, 3))),
+    ]
+    expected = len(codec.encode_batch(envelopes))
+    assert codec.encoded_batch_size(envelopes) == expected
+    body_sizes = [codec.encoded_envelope_size(e) for e in envelopes]
+    assert codec.encoded_batch_size(envelopes, body_sizes) == expected
+    single = [_env()]
+    assert codec.encoded_batch_size(single) == len(codec.encode_batch(single))
+
+
+# -- metrics ---------------------------------------------------------------------------
+
+
+def test_frame_metrics_accounting():
+    metrics = Metrics()
+    assert metrics.frames_saved == 0 and metrics.batch_occupancy_mean == 0.0
+    for _ in range(10):
+        metrics.record_send(_env())
+    metrics.record_frame(7, nbytes=100)
+    metrics.record_frame(3, nbytes=50)
+    assert metrics.frames_total == 2
+    assert metrics.frames_saved == 8
+    assert metrics.batch_occupancy_max == 7
+    assert metrics.batch_occupancy_mean == 5.0
+    assert metrics.wire_bytes_total == 150
+    # No byte metering on these sends => no savings claim.
+    assert metrics.bytes_total == 0 and metrics.wire_bytes_saved == 0
+    summary = metrics.summary()
+    for key in ("frames_total", "frames_saved", "batch_occupancy_mean",
+                "batch_occupancy_max", "wire_bytes_total", "wire_bytes_saved"):
+        assert key in summary
+
+
+# -- plane equivalence -----------------------------------------------------------------
+
+
+def test_batched_plane_equivalent_to_unbatched_on_sim():
+    """Same seed, batching on/off: byte-identical protocol execution."""
+    batched = run_adkg(n=4, seed=11, transport="sim", measure_bytes=True, batching=True)
+    unbatched = run_adkg(n=4, seed=11, transport="sim", measure_bytes=True, batching=False)
+    assert batched.agreed and unbatched.agreed
+    assert batched.transcript == unbatched.transcript
+    assert batched.words_total == unbatched.words_total
+    assert batched.bytes_total == unbatched.bytes_total
+    assert batched.messages_total == unbatched.messages_total
+    assert batched.rounds == unbatched.rounds
+    bs = batched.metrics_summary
+    us = unbatched.metrics_summary
+    assert bs["words_by_layer"] == us["words_by_layer"]
+    assert bs["words_by_type"] == us["words_by_type"]
+    # Only the frame plane differs.
+    assert bs["frames_total"] > 0 and bs["frames_saved"] > 0
+    assert bs["batch_occupancy_mean"] > 1.0
+    assert bs["wire_bytes_saved"] > 0
+    assert us["frames_total"] == 0 and us["frames_saved"] == 0
+
+
+def test_batched_plane_equivalent_under_random_delays_and_scheduler():
+    """Bucketed heap scheduling preserves the exact unbatched schedule.
+
+    Per-envelope delay draws and scheduler decisions happen in creation
+    order on both planes, so even under a randomized delay model plus an
+    adversarial scheduler the executions are identical.
+    """
+    outcomes = []
+    for batching in (True, False):
+        result = run_adkg(
+            n=4,
+            seed=5,
+            transport="sim",
+            delay_model=UniformDelay(0.3, 2.1),
+            scheduler=RandomLagScheduler(factor=5.0, rate=0.3),
+            measure_bytes=True,
+            batching=batching,
+        )
+        outcomes.append(
+            (result.transcript, result.words_total, result.bytes_total,
+             result.rounds, result.messages_total)
+        )
+    assert outcomes[0] == outcomes[1]
+
+
+def test_batched_plane_equivalent_with_behavior_plus_scheduler():
+    """RNG interleaving: behavior transforms and scheduler draws share
+    ``_adv_rng``, so delays must be drawn at buffer time (the unbatched
+    plane's order), not at flush — this is the regression the combined
+    case catches.
+    """
+    from repro.net.adversary import DropBehavior
+
+    outcomes = []
+    for batching in (True, False):
+        result = run_adkg(
+            n=4,
+            seed=7,
+            transport="sim",
+            delay_model=UniformDelay(0.3, 2.1),
+            scheduler=RandomLagScheduler(factor=5.0, rate=0.3),
+            behaviors={3: DropBehavior(rate=0.5)},
+            measure_bytes=True,
+            batching=batching,
+        )
+        outcomes.append(
+            (result.words_total, result.bytes_total, result.messages_total,
+             result.rounds, sorted(result.outputs))
+        )
+    assert outcomes[0] == outcomes[1]
+
+
+def test_batched_tcp_matches_sim_transcript_and_words():
+    """Batched sim ≡ unbatched sim ≡ batched TCP at f=0.
+
+    Words are schedule-independent at f=0; byte totals are asserted
+    within the sim pair only (realtime depth stamps differ by schedule,
+    which shifts the varint-encoded depth field).
+    """
+    n, seed = 4, 7
+    sim_batched = run_adkg(n=n, f=0, seed=seed, batching=True)
+    sim_unbatched = run_adkg(n=n, f=0, seed=seed, batching=False)
+    assert sim_batched.transcript == sim_unbatched.transcript
+    assert sim_batched.words_total == sim_unbatched.words_total
+
+    setup = TrustedSetup.generate(n, f=0, seed=seed)
+    runtime = TCPRuntime(setup, seed=seed, batching=True)
+    from repro.core.adkg import ADKG
+
+    results = asyncio.run(runtime.run(lambda party: ADKG(), timeout=60))
+    transcripts = list(results.values())
+    assert all(t == transcripts[0] for t in transcripts)
+    assert transcripts[0] == sim_batched.transcript
+    assert runtime.rejected_frames == 0
+    assert runtime.metrics.words_total == sim_batched.words_total
+    # Real coalesced frames went over the sockets.  At n=4 the per-pair
+    # bursts are small and payloads within one connection's frame are
+    # distinct, so framing overhead can cancel the saved length
+    # prefixes — wire bytes may only be bounded, not strictly smaller
+    # (larger n tips the balance; bench_scale asserts the strict win).
+    assert runtime.metrics.frames_total > 0
+    assert runtime.metrics.frames_saved > 0
+    assert runtime.metrics.wire_bytes_total <= runtime.metrics.bytes_total
+
+
+def test_batched_tcp_wire_carries_multi_envelope_frames():
+    """EchoAll over batched TCP: outputs right, frames coalesced."""
+    setup = TrustedSetup.generate(4, seed=2)
+    runtime = TCPRuntime(setup, seed=2, batching=True)
+    results = asyncio.run(runtime.run(lambda party: EchoAll(), timeout=30))
+    assert all(value == frozenset(range(4)) for value in results.values())
+    assert runtime.metrics.bytes_total > 0
+    assert runtime.metrics.frames_total > 0
+
+
+# -- flush policy ----------------------------------------------------------------------
+
+
+def test_size_cap_splits_coalescing_buffer():
+    setup = TrustedSetup.generate(4, seed=3)
+    sim = Simulation(setup, seed=3, batching=True)
+    sim.batch_cap_envelopes = 2
+    sim.run_sync(lambda party: EchoAll())
+    assert sim.metrics.batch_occupancy_max <= 2
+    assert sim.metrics.frames_total > 0
+
+
+def test_quiescence_flushes_coalesced_sends():
+    """run() to quiescence must deliver buffered coalesced sends too."""
+    setup = TrustedSetup.generate(4, seed=4)
+    sim = Simulation(setup, seed=4, batching=True)
+    sim.start(lambda party: EchoAll())
+    sim.run()  # no stop predicate: drains to true quiescence
+    assert not sim._outgoing
+    assert all(
+        sim.parties[i].instance(()).seen == {0, 1, 2, 3} for i in range(4)
+    )
+
+
+# -- TCP backpressure (bounded send queues) --------------------------------------------
+
+
+def test_tcp_send_queue_cap_validated():
+    setup = TrustedSetup.generate(4, seed=1)
+    with pytest.raises(ValueError):
+        TCPRuntime(setup, seed=1, send_queue_cap=0)
+
+
+def test_tcp_backpressure_sheds_and_counts():
+    """With a tiny queue cap the overflow is shed and counted, not grown."""
+    setup = TrustedSetup.generate(4, seed=6)
+    runtime = TCPRuntime(setup, seed=6, batching=True, send_queue_cap=1)
+    runtime.batch_cap_envelopes = 1  # every envelope its own frame
+
+    class Burst(EchoAll):
+        def on_start(self):
+            super().on_start()
+            for _ in range(50):  # flood before any pump can drain
+                self.multicast(Ping(self.me))
+
+    try:
+        # May still reach agreement (EchoAll needs only one ping per
+        # peer to survive the shedding) or starve — either way the
+        # overflow must have been dropped and counted, not queued.
+        asyncio.run(runtime.run(lambda party: Burst(), timeout=2))
+    except asyncio.TimeoutError:
+        pass
+    assert runtime.backpressure_drops > 0
+    assert runtime.dropped_sends > 0
+    assert runtime.metrics.counters("tcp").get("backpressure", 0) > 0
+
+
+def test_tcp_honest_runs_never_hit_backpressure():
+    result = run_adkg(n=4, seed=1, transport="tcp")
+    assert result.agreed
+    assert result.metrics_summary["counters"].get("tcp", {}) .get("backpressure", 0) == 0

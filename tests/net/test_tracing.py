@@ -69,3 +69,14 @@ def test_empty_trace_summary():
     sim.start(lambda party: EchoAll())
     sim.run()
     assert tracer.summary() == {"events": 0, "by_type": {}, "span": None}
+
+
+def test_multiple_tracers_coexist_and_detach_independently():
+    sim, tracer1 = _traced_sim()
+    tracer2 = Tracer(sim, predicate=lambda env: env.recipient == 0)
+    sim.start(lambda party: EchoAll())
+    sim.run()
+    assert len(tracer1.events) == 12
+    assert len(tracer2.events) == 3
+    tracer2.detach()  # leaves tracer1 observing
+    assert sim._delivery_observers == [tracer1._on_delivery]

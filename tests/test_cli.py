@@ -49,6 +49,22 @@ def test_run_tcp_transport(capsys):
     assert "bytes on wire:" in out
 
 
+def test_run_reports_batching_stats(capsys):
+    code = main(["run", "-n", "4", "--seed", "1"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "wire frames:" in out
+    assert "envelopes/frame" in out
+    assert "saved" in out
+
+
+def test_run_no_batching_flag(capsys):
+    code = main(["run", "-n", "4", "--seed", "1", "--no-batching"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "unbatched (one per message)" in out
+
+
 def test_run_full_rejected_on_realtime_transport(capsys):
     code = main(["run", "-n", "4", "--transport", "tcp", "--full"])
     assert code == 2
