@@ -13,11 +13,13 @@ Quickstart::
 
 Layers (bottom-up): :mod:`repro.crypto` (fields, groups, signatures,
 PVSS, threshold VRF), :mod:`repro.net` (sans-io protocol substrate +
-session-multiplexed transports), :mod:`repro.broadcast` (reliable
-broadcast), :mod:`repro.core` (Gather, Proposal Election, NWH, A-DKG),
-:mod:`repro.baselines` (the Ω(n⁴) comparator) and :mod:`repro.service`
-(pipelined ADKG epochs + randomness beacon).  See DESIGN.md for the
-full inventory and EXPERIMENTS.md for paper-vs-measured results.
+session-multiplexed transports), :mod:`repro.storage` (snapshot + WAL
+durability, in-session crash–recovery), :mod:`repro.broadcast`
+(reliable broadcast), :mod:`repro.core` (Gather, Proposal Election,
+NWH, A-DKG), :mod:`repro.baselines` (the Ω(n⁴) comparator) and
+:mod:`repro.service` (pipelined ADKG epochs + randomness beacon).  See
+DESIGN.md for the full inventory and EXPERIMENTS.md for
+paper-vs-measured results.
 """
 
 from __future__ import annotations

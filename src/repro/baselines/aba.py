@@ -67,6 +67,27 @@ class BinaryAgreement(Protocol):
 
     MAX_ROUNDS = 64
 
+    #: Declared mutable state (the coin helper is reconstructed by the
+    #: parent — its transcript travels in the parent's snapshot).
+    STATE_FIELDS = (
+        "_input",
+        "round_no",
+        "estimate",
+        "decided",
+        "_decided_round",
+        "_bval_recv",
+        "_bval_sent",
+        "_bin_values",
+        "_aux_recv",
+        "_aux_sent",
+        "_coin_shares",
+        "_coin_sent",
+        "_coin_value",
+        "_round_closed",
+        "_decided_recv",
+        "_decided_sent",
+    )
+
     def __init__(self, coin: CoinHelper, input_bit: Optional[int] = None) -> None:
         super().__init__()
         self.coin = coin
@@ -106,11 +127,22 @@ class BinaryAgreement(Protocol):
             return
         self.round_no = round_no
         self._send_bval(round_no, self.estimate)
+        self._arm_round_close(round_no)
+
+    def _arm_round_close(self, round_no: int) -> None:
         self.upon(
             lambda r=round_no: self._round_ready(r),
             lambda r=round_no: self._close_round(r),
             label=f"aba-close-{round_no}",
         )
+
+    def rearm(self) -> None:
+        # Rounds entered but not closed at snapshot time still need their
+        # close condition; closed rounds re-entered the next round whose
+        # own condition is (transitively) re-armed here.
+        for round_no in range(1, self.round_no + 1):
+            if round_no not in self._round_closed and not self._halted(round_no):
+                self._arm_round_close(round_no)
 
     def _halted(self, round_no: int) -> bool:
         if round_no > self.MAX_ROUNDS:

@@ -45,6 +45,16 @@ class CoinHelper:
         if self.transcript is None:
             self.transcript = transcript
 
+    # -- durability --------------------------------------------------------------------
+
+    def snapshot(self) -> Any:
+        """The helper's only mutable state: the (late-bound) transcript."""
+        return self.transcript
+
+    def restore(self, transcript: Any) -> None:
+        """Rebind the transcript captured by :meth:`snapshot` (or ``None``)."""
+        self.transcript = transcript
+
     def _message(self, round_no: int) -> tuple:
         return ("baseline-coin", self.context, round_no)
 

@@ -34,6 +34,11 @@ from repro.net.protocol import Protocol
 class ACSBasedADKG(Protocol):
     """Baseline A-DKG: n un-aggregated broadcasts + n binary agreements."""
 
+    #: Declared mutable state.  The coin helpers (non-encodable objects
+    #: shared with the ABA children) are captured as their transcripts and
+    #: rebuilt in :meth:`apply_state`, before the children are rebuilt.
+    STATE_FIELDS = ("delivered", "decided", "_input_given", "_zero_phase")
+
     def __init__(self, broadcast_kind: str = "bracha") -> None:
         super().__init__()
         self.broadcast_kind = broadcast_kind
@@ -44,9 +49,8 @@ class ACSBasedADKG(Protocol):
         self._input_given: set[int] = set()
         self._zero_phase = False
 
-    def on_start(self) -> None:
+    def _contribution_validator(self):
         directory = self.directory
-        contribution = tvrf.DKGSh(directory, self.secret, self.rng)
 
         def contribution_valid(candidate: Any) -> bool:
             return (
@@ -54,6 +58,14 @@ class ACSBasedADKG(Protocol):
                 and tvrf.DKGShVerify(directory, candidate)
             )
 
+        return contribution_valid
+
+    def _make_coin(self, j: int) -> CoinHelper:
+        return CoinHelper(self.directory, self.secret, context=("acs-adkg", j))
+
+    def on_start(self) -> None:
+        contribution = tvrf.DKGSh(self.directory, self.secret, self.rng)
+        contribution_valid = self._contribution_validator()
         for j in range(self.n):
             value = contribution if j == self.me else None
             self.spawn(
@@ -62,12 +74,45 @@ class ACSBasedADKG(Protocol):
                     self.broadcast_kind, j, value=value, validate=contribution_valid
                 ),
             )
-            coin = CoinHelper(
-                directory, self.secret, context=("acs-adkg", j)
-            )
+            coin = self._make_coin(j)
             self.coins[j] = coin
             self._abas[j] = BinaryAgreement(coin=coin)
             self.spawn(("aba", j), self._abas[j])
+        self.upon(self._all_decided, self._finish, label="acs-finish")
+
+    # -- durability ---------------------------------------------------------------------
+
+    def capture_state(self) -> dict:
+        state = super().capture_state()
+        state["coin_transcripts"] = {
+            j: coin.snapshot() for j, coin in self.coins.items()
+        }
+        return state
+
+    def apply_state(self, state: dict) -> None:
+        super().apply_state(state)
+        transcripts = state.get("coin_transcripts", {})
+        for j in range(self.n):
+            coin = self._make_coin(j)
+            coin.restore(transcripts.get(j))
+            self.coins[j] = coin
+
+    def build_child(self, name: Any) -> Protocol:
+        stage, j = name
+        if stage == "rbc":
+            return make_broadcast(
+                self.broadcast_kind,
+                j,
+                value=None,
+                validate=self._contribution_validator(),
+            )
+        if stage == "aba":
+            aba = BinaryAgreement(coin=self.coins[j])
+            self._abas[j] = aba
+            return aba
+        raise ValueError(f"unknown ACSBasedADKG child {name!r}")
+
+    def rearm(self) -> None:
         self.upon(self._all_decided, self._finish, label="acs-finish")
 
     # -- sub-protocol plumbing ---------------------------------------------------------

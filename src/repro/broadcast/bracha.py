@@ -13,7 +13,6 @@ echoed, readied or output).
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
@@ -55,6 +54,10 @@ class BrachaBroadcast(Protocol):
     else passes ``None``.  The instance outputs the delivered value.
     """
 
+    #: Declared mutable state — plain dicts/sets of encodable values, so
+    #: an instance snapshot/restores without pickle (DESIGN.md section 9).
+    STATE_FIELDS = ("_echoed", "_ready_sent", "_echoes", "_readies", "_values")
+
     def __init__(
         self,
         dealer: int,
@@ -67,8 +70,8 @@ class BrachaBroadcast(Protocol):
         self.validate = validate or (lambda _value: True)
         self._echoed = False
         self._ready_sent = False
-        self._echoes: dict[bytes, set[int]] = defaultdict(set)
-        self._readies: dict[bytes, set[int]] = defaultdict(set)
+        self._echoes: dict[bytes, set[int]] = {}
+        self._readies: dict[bytes, set[int]] = {}
         self._values: dict[bytes, Any] = {}
 
     def on_start(self) -> None:
@@ -100,14 +103,14 @@ class BrachaBroadcast(Protocol):
             digest = self._digest(value)
         except TypeError:
             return  # unencodable garbage from a Byzantine sender
-        box[digest].add(sender)
+        box.setdefault(digest, set()).add(sender)
         self._values.setdefault(digest, value)
         self._progress(digest)
 
     def _progress(self, digest: bytes) -> None:
         value = self._values[digest]
-        echoes = len(self._echoes[digest])
-        readies = len(self._readies[digest])
+        echoes = len(self._echoes.get(digest, ()))
+        readies = len(self._readies.get(digest, ()))
         if not self._ready_sent and (
             echoes >= self.quorum or readies >= self.f + 1
         ):

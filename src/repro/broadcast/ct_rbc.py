@@ -24,7 +24,6 @@ the decoded value.
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
@@ -79,6 +78,18 @@ class CTReady(Payload):
 class CTBroadcast(Protocol):
     """One erasure-coded reliable broadcast instance with a designated dealer."""
 
+    #: Declared mutable state: per-root fragment/ready/decode bookkeeping.
+    #: The lazily built vector-commitment backend (``_vc``) is derived
+    #: configuration, not state — a restored instance rebuilds it on use.
+    STATE_FIELDS = (
+        "_echoed",
+        "_ready_sent",
+        "_fragments",
+        "_readies",
+        "_decoded",
+        "_bad_roots",
+    )
+
     def __init__(
         self,
         dealer: int,
@@ -94,8 +105,8 @@ class CTBroadcast(Protocol):
         self._vc = None
         self._echoed = False
         self._ready_sent = False
-        self._fragments: dict[bytes, dict[int, bytes]] = defaultdict(dict)
-        self._readies: dict[bytes, set[int]] = defaultdict(set)
+        self._fragments: dict[bytes, dict[int, bytes]] = {}
+        self._readies: dict[bytes, set[int]] = {}
         self._decoded: dict[bytes, Any] = {}
         self._bad_roots: set[bytes] = set()
 
@@ -167,7 +178,7 @@ class CTBroadcast(Protocol):
             return
         if not self._fragment_valid(sender, payload):
             return
-        slot = self._fragments[payload.root]
+        slot = self._fragments.setdefault(payload.root, {})
         if sender in slot:
             return
         slot[sender] = payload.fragment
@@ -199,7 +210,7 @@ class CTBroadcast(Protocol):
     def _on_ready(self, sender: int, payload: CTReady) -> None:
         if not self.vc.is_commitment(payload.root):
             return
-        self._readies[payload.root].add(sender)
+        self._readies.setdefault(payload.root, set()).add(sender)
         self._progress(payload.root)
 
     # -- state machine -------------------------------------------------------------------
@@ -207,8 +218,8 @@ class CTBroadcast(Protocol):
     def _progress(self, root: bytes) -> None:
         if root in self._bad_roots:
             return
-        fragments = self._fragments[root]
-        readies = self._readies[root]
+        fragments = self._fragments.get(root, {})
+        readies = self._readies.get(root, ())
         decodable = len(fragments) >= self.quorum or (
             len(readies) >= self.f + 1 and len(fragments) >= self.k
         )
@@ -253,7 +264,7 @@ class CTBroadcast(Protocol):
         not decode / the root does not commit the re-encoded codeword /
         the bytes are malformed.
         """
-        fragments = self._fragments[root]
+        fragments = self._fragments.get(root, {})
         try:
             data = erasure.rs_decode(fragments, self.k)
         except ValueError:

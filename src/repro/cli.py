@@ -17,6 +17,85 @@ import argparse
 import sys
 
 
+def _parse_at(spec: str, flag: str) -> tuple[int, float]:
+    """Parse one ``i@t`` CLI value into ``(party_index, t)``."""
+    try:
+        index_text, _, when_text = spec.partition("@")
+        return int(index_text), float(when_text)
+    except ValueError:
+        print(
+            f"error: {flag} expects i@t (party index @ time), got {spec!r}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)  # usage error, matching the sibling validations
+
+
+def _cmd_run_with_recovery(args: argparse.Namespace) -> int:
+    """``repro run --crash i@t [--recover i@t]``: the durable-recovery path."""
+    import time
+
+    from repro.storage import run_crash_recovery
+
+    crashes = [_parse_at(spec, "--crash") for spec in args.crash]
+    recovers = dict(_parse_at(spec, "--recover") for spec in (args.recover or []))
+    crash_indices = [index for index, _t in crashes]
+    unknown = set(recovers) - set(crash_indices)
+    if unknown:
+        print(
+            f"error: --recover names parties that never crash: {sorted(unknown)}",
+            file=sys.stderr,
+        )
+        return 2
+    # All named parties crash together at the earliest threshold and
+    # recover together after the longest requested delay.
+    crash_after = int(min(t for _i, t in crashes))
+    default_delay = 5.0
+    recovery_delay = max(recovers.values(), default=default_delay)
+    started = time.perf_counter()
+    try:
+        report = run_crash_recovery(
+            transport=args.transport,
+            n=args.n,
+            seed=args.seed,
+            crash_indices=crash_indices,
+            crash_after=crash_after,
+            recovery_delay=recovery_delay,
+            cadence=args.cadence,
+            storage_dir=args.storage_dir,
+            batching=not args.no_batching,
+            timeout=args.timeout,
+        )
+    except (TimeoutError, OSError, RuntimeError, ValueError) as exc:
+        # ValueError also covers the storage layer's StorageError
+        # (missing/corrupt snapshot) and bad-parameter rejections.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    elapsed = time.perf_counter() - started
+    unit = "rounds" if args.transport == "sim" else "s"
+    print(
+        f"n={report['n']} f={report['f']} seed={args.seed} "
+        f"transport={report['transport']}"
+    )
+    print(f"crashed:           {report['crash_indices']} after "
+          f"{report['crash_after']} deliveries (at {report['crash_at']:.1f} {unit})")
+    print(f"recovered:         at {report['reattach_at']:.1f} {unit} "
+          f"(snapshot cadence {report['cadence']})")
+    for index, stats in report["replay"].items():
+        print(
+            f"  party {index}: replayed {stats['wal_records']} WAL records "
+            f"in {stats['replay_seconds'] * 1000:.1f}ms "
+            f"({stats['suppressed_sends']} duplicate sends suppressed), "
+            f"{report['parked_delivered'][index]} parked deliveries drained"
+        )
+    print(f"agreed:            {report['agreement']}")
+    print(f"transcript valid:  {report['valid']}")
+    print(f"recovery latency:  {report['recovery_latency']:.2f} {unit}")
+    print(f"done at:           {report['rounds']:.2f} {unit}")
+    print(f"words sent:        {report['words_total']:,}")
+    print(f"wall clock:        {elapsed:.2f}s")
+    return 0 if report["agreement"] and report["valid"] else 1
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     import time
 
@@ -25,6 +104,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.full and args.transport != "sim":
         print("error: --full applies to the sim transport only", file=sys.stderr)
         return 2
+    if args.recover and not args.crash:
+        print("error: --recover requires --crash", file=sys.stderr)
+        return 2
+    if args.crash:
+        if args.full or args.profile:
+            print(
+                "error: --crash is incompatible with --full/--profile",
+                file=sys.stderr,
+            )
+            return 2
+        return _cmd_run_with_recovery(args)
     profiler = None
     if args.profile:
         import cProfile
@@ -231,6 +321,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-batching",
         action="store_true",
         help="disable the coalesced message plane (per-envelope reference plane)",
+    )
+    run_p.add_argument(
+        "--crash",
+        action="append",
+        metavar="I@T",
+        help="crash party I (losing its memory) after it processed T network "
+        "deliveries; repeatable — all named parties crash together at the "
+        "earliest T, each recovering from its snapshot + WAL",
+    )
+    run_p.add_argument(
+        "--recover",
+        action="append",
+        metavar="I@T",
+        help="reattach the crashed parties after T rounds (sim) / seconds "
+        "(realtime) measured from the crash; all crashed parties recover "
+        "together at the largest requested T (default 5)",
+    )
+    run_p.add_argument(
+        "--cadence",
+        type=int,
+        default=16,
+        help="snapshot every this many deliveries at crash-recovering parties",
+    )
+    run_p.add_argument(
+        "--storage-dir",
+        default=None,
+        help="directory for snapshots + WALs (default: a temp dir)",
     )
     run_p.set_defaults(func=_cmd_run)
 

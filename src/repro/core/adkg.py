@@ -37,6 +37,10 @@ class ADKGShare(Payload):
 class ADKG(Protocol):
     """One A-DKG instance; outputs the agreed, verifying DKG transcript."""
 
+    #: Declared mutable state (the ``nwh`` instance reference is rebuilt
+    #: by :meth:`build_child`, not serialized).
+    STATE_FIELDS = ("received", "proposal")
+
     def __init__(self, broadcast_kind: str = "ct") -> None:
         super().__init__()
         self.broadcast_kind = broadcast_kind
@@ -66,13 +70,22 @@ class ADKG(Protocol):
         self.received.append(contribution)
         if len(self.received) >= self.quorum:
             self.proposal = tvrf.DKGAggregate(self.directory, self.received)
-            directory = self.directory
-            self.nwh = NWH(
-                my_value=self.proposal,
-                validate=lambda dkg: tvrf.DKGVerify(directory, dkg),
-                broadcast_kind=self.broadcast_kind,
-            )
+            self.nwh = self._make_nwh()
             self.spawn("nwh", self.nwh)
+
+    def _make_nwh(self) -> NWH:
+        directory = self.directory
+        return NWH(
+            my_value=self.proposal,
+            validate=lambda dkg: tvrf.DKGVerify(directory, dkg),
+            broadcast_kind=self.broadcast_kind,
+        )
+
+    def build_child(self, name: Any) -> Protocol:
+        if name == "nwh":
+            self.nwh = self._make_nwh()
+            return self.nwh
+        raise ValueError(f"unknown ADKG child {name!r}")
 
     def on_sub_output(self, name: Any, value: Any) -> None:
         if name == "nwh":

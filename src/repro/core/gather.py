@@ -43,6 +43,21 @@ class Gather(Protocol):
     outputs the gather-set as a dict ``{j: x_j}`` (a snapshot of ``R_i``).
     """
 
+    #: Declared mutable state.  ``pending_s``/``pending_t`` hold the
+    #: index sets whose "upon S_j ⊆ S_i" / "upon T_j ⊆ T_i" clauses have
+    #: not fired yet — as fields, not closure captures, so a restored
+    #: instance re-derives exactly the pending conditions (:meth:`rearm`).
+    STATE_FIELDS = (
+        "values",
+        "received_from",
+        "accepted_s",
+        "accepted_u",
+        "pending_s",
+        "pending_t",
+        "_sent_round2",
+        "_sent_round3",
+    )
+
     def __init__(
         self,
         my_value: Any,
@@ -57,6 +72,8 @@ class Gather(Protocol):
         self.received_from: set[int] = set()  # S_i
         self.accepted_s: dict[int, frozenset] = {}  # j -> S_j accepted (j ∈ T_i)
         self.accepted_u: dict[int, frozenset] = {}  # j -> V_j (U_i)
+        self.pending_s: dict[int, frozenset] = {}  # delivered, not yet ⊆ S_i
+        self.pending_t: dict[int, frozenset] = {}  # delivered, not yet ⊆ T_i
         self._sent_round2 = False
         self._sent_round3 = False
 
@@ -75,18 +92,36 @@ class Gather(Protocol):
                 self._spawn_round(2, j, None)
                 self._spawn_round(3, j, None)
 
-    def _spawn_round(self, round_no: int, dealer: int, value: Optional[frozenset]) -> None:
+    def _index_set_broadcast(self, dealer: int, value: Optional[frozenset]) -> Protocol:
         minimum = self.quorum
         n = self.n
-        self.spawn(
-            (f"rb{round_no}", dealer),
-            make_broadcast(
-                self.broadcast_kind,
-                dealer,
-                value=value,
-                validate=lambda s: _valid_index_set(s, n, minimum),
-            ),
+        return make_broadcast(
+            self.broadcast_kind,
+            dealer,
+            value=value,
+            validate=lambda s: _valid_index_set(s, n, minimum),
         )
+
+    def _spawn_round(self, round_no: int, dealer: int, value: Optional[frozenset]) -> None:
+        self.spawn(
+            (f"rb{round_no}", dealer), self._index_set_broadcast(dealer, value)
+        )
+
+    def build_child(self, name: Any) -> Protocol:
+        stage, dealer = name
+        if stage == "vrb":
+            return make_broadcast(
+                self.broadcast_kind, dealer, value=None, validate=self.validate
+            )
+        if stage in ("rb2", "rb3"):
+            return self._index_set_broadcast(dealer, None)
+        raise ValueError(f"unknown Gather child {name!r}")
+
+    def rearm(self) -> None:
+        for j in self.pending_s:
+            self._arm_s(j)
+        for j in self.pending_t:
+            self._arm_t(j)
 
     # -- sub-protocol outputs ----------------------------------------------------------
 
@@ -111,35 +146,46 @@ class Gather(Protocol):
 
     def _on_s_set(self, j: int, s_j: frozenset) -> None:
         """Round 2: accept ⟨2, S_j⟩ once S_j ⊆ S_i (persistent condition)."""
+        if j in self.accepted_s or j in self.pending_s:
+            return
+        self.pending_s[j] = s_j
+        self._arm_s(j)
 
-        def accept() -> None:
-            self.accepted_s[j] = s_j
-            if not self._sent_round3 and len(self.accepted_s) >= self.quorum:
-                self._sent_round3 = True
-                self._spawn_round(3, self.me, frozenset(self.accepted_s))
-
+    def _arm_s(self, j: int) -> None:
         self.upon(
-            lambda: s_j <= self.received_from,
-            accept,
+            lambda: self.pending_s[j] <= self.received_from,
+            lambda: self._accept_s(j),
             label=f"gather-accept-S-{j}",
         )
 
+    def _accept_s(self, j: int) -> None:
+        self.accepted_s[j] = self.pending_s.pop(j)
+        if not self._sent_round3 and len(self.accepted_s) >= self.quorum:
+            self._sent_round3 = True
+            self._spawn_round(3, self.me, frozenset(self.accepted_s))
+
     def _on_t_set(self, j: int, t_j: frozenset) -> None:
         """Round 3: accept ⟨3, T_j⟩ once T_j ⊆ T_i, then record V_j."""
+        if j in self.accepted_u or j in self.pending_t:
+            return
+        self.pending_t[j] = t_j
+        self._arm_t(j)
 
-        def accept() -> None:
-            union: set[int] = set()
-            for k in t_j:
-                union |= self.accepted_s[k]
-            self.accepted_u[j] = frozenset(union)
-            if not self.has_output and len(self.accepted_u) >= self.quorum:
-                self.output(dict(self.values))
-
+    def _arm_t(self, j: int) -> None:
         self.upon(
-            lambda: t_j <= self.accepted_s.keys(),
-            accept,
+            lambda: self.pending_t[j] <= self.accepted_s.keys(),
+            lambda: self._accept_t(j),
             label=f"gather-accept-T-{j}",
         )
+
+    def _accept_t(self, j: int) -> None:
+        t_j = self.pending_t.pop(j)
+        union: set[int] = set()
+        for k in t_j:
+            union |= self.accepted_s[k]
+        self.accepted_u[j] = frozenset(union)
+        if not self.has_output and len(self.accepted_u) >= self.quorum:
+            self.output(dict(self.values))
 
     # -- GatherVerify (Algorithm 2) ------------------------------------------------------
 

@@ -130,6 +130,39 @@ class EquivocateMsg(Payload):
 class NWH(Protocol):
     """One NWH (VABA) instance; outputs the agreed externally valid value."""
 
+    #: Declared mutable state.  ``my_value`` rides the snapshot (it seeds
+    #: view-0 keys long after ``on_start``); the ``_pe`` instance-reference
+    #: map is rebuilt by :meth:`build_child`.  The ``*_seen`` journals hold
+    #: every fault-relevant message whose PEVerify chain may still be
+    #: pending, so :meth:`rearm` can re-derive those chains exactly.
+    STATE_FIELDS = (
+        "my_value",
+        "view",
+        "terminated",
+        "key_view",
+        "key_value",
+        "key_proof",
+        "lock_view",
+        "lock_value",
+        "lock_proof",
+        "_suggestions",
+        "_pe_started",
+        "_echoes",
+        "_echo_seen",
+        "_echo_tuple",
+        "_key_votes",
+        "_lock_votes",
+        "_key_sent",
+        "_lock_sent",
+        "_commit_sent",
+        "_advanced",
+        "_blame_seen",
+        "_equiv_seen",
+        "_future",
+        "_commit_forwarded",
+        "views_entered",
+    )
+
     def __init__(
         self,
         my_value: Any,
@@ -155,6 +188,7 @@ class NWH(Protocol):
         self._pe: dict[int, ProposalElection] = {}
         self._pe_started: set[int] = set()
         self._echoes: dict[int, dict[int, tuple]] = {}
+        self._echo_seen: dict[int, list[tuple[int, EchoMsg]]] = {}
         self._echo_tuple: dict[int, tuple] = {}  # view -> (key_tuple, proof)
         self._key_votes: dict[int, dict[int, SignedVote]] = {}
         self._lock_votes: dict[int, dict[int, SignedVote]] = {}
@@ -162,6 +196,8 @@ class NWH(Protocol):
         self._lock_sent: set[int] = set()
         self._commit_sent: set[int] = set()
         self._advanced: set[int] = set()
+        self._blame_seen: dict[int, list[tuple[int, BlameMsg]]] = {}
+        self._equiv_seen: dict[int, list[tuple[int, EquivocateMsg]]] = {}
         self._future: dict[int, list[tuple[int, Payload]]] = {}
         self._commit_forwarded = False
         self.views_entered = 1
@@ -208,11 +244,48 @@ class NWH(Protocol):
         elif isinstance(payload, EquivocateMsg):
             self._on_equivocate(sender, payload)
 
+    #: Per-(view, sender) cap on journaled blame/equivocate messages
+    #: (echoes are deduped to one per sender).  An honest sender
+    #: originates at most one fault message per view and forwards at
+    #: most one more, so 4 is generous — and because the bound is per
+    #: sender, a Byzantine spammer can fill only its own allowance,
+    #: never censor honest fault messages out of a shared pool.  Total
+    #: journal growth is ≤ 4n per view, matching the bounded-buffer
+    #: posture of the rest of the stack (and keeping freeze() blobs
+    #: bounded).
+    PER_SENDER_FAULT_CAP = 4
+
+    def _journal_fault(self, journal: dict, view: int, sender: int, payload) -> bool:
+        """Admit one fault message into a per-view journal, bounded.
+
+        Exact duplicates (e.g. the same blame forwarded by several
+        parties) are dropped regardless of sender; beyond that each
+        sender may hold :data:`PER_SENDER_FAULT_CAP` distinct entries.
+        Returns True iff the message was admitted (and should arm its
+        verification chain).
+        """
+        entries = journal.setdefault(view, [])
+        from_sender = 0
+        for seen_sender, seen_payload in entries:
+            if seen_payload == payload:
+                return False
+            if seen_sender == sender:
+                from_sender += 1
+        if from_sender >= self.PER_SENDER_FAULT_CAP:
+            return False
+        entries.append((sender, payload))
+        return True
+
     def _advance_view(self, from_view: int) -> None:
         if self.terminated or self.view != from_view:
             return
         self.view = from_view + 1
         self.views_entered += 1
+        # Journals of past views are dead weight (rearm only re-derives
+        # the current view's chains); free them as the view moves on.
+        for journal in (self._echo_seen, self._blame_seen, self._equiv_seen):
+            for view in [v for v in journal if v < self.view]:
+                del journal[view]
         self._start_view(self.view)
         buffered = self._future.pop(self.view, [])
         for sender, payload in buffered:
@@ -245,7 +318,7 @@ class NWH(Protocol):
                 chosen = KeyTuple(0, self.my_value, None)
             self._spawn_pe(view, chosen)
 
-    def _spawn_pe(self, view: int, proposal: KeyTuple) -> None:
+    def _make_pe(self, proposal: Optional[KeyTuple]) -> ProposalElection:
         directory, validate = self.directory, self.validate
 
         def key_tuple_valid(candidate: Any) -> bool:
@@ -255,13 +328,49 @@ class NWH(Protocol):
                 directory, validate, candidate.view, candidate.value, candidate.proof
             )
 
-        pe = ProposalElection(
+        return ProposalElection(
             proposal=proposal,
             validate=key_tuple_valid,
             broadcast_kind=self.broadcast_kind,
         )
+
+    def _spawn_pe(self, view: int, proposal: KeyTuple) -> None:
+        pe = self._make_pe(proposal)
         self._pe[view] = pe
         self.spawn(("pe", view), pe)
+
+    # -- durability ---------------------------------------------------------------------
+
+    def build_child(self, name: Any) -> Protocol:
+        stage, view = name
+        if stage == "pe":
+            # The elected proposal is part of the PE's own snapshot; the
+            # placeholder is overwritten before the PE ever reads it.
+            pe = self._make_pe(None)
+            self._pe[view] = pe
+            return pe
+        raise ValueError(f"unknown NWH child {name!r}")
+
+    def rearm(self) -> None:
+        """Re-derive the PEVerify chains pending for the current view.
+
+        Chains for older views are dead weight (their callbacks guard on
+        ``view != self.view``) and are not re-created; chains whose work
+        already completed re-fire idempotently (echo senders already in
+        the view's echo box are skipped, fault advances guard on
+        ``_advanced``/``terminated``).
+        """
+        if self.terminated:
+            return
+        view = self.view
+        counted = self._echoes.get(view, {})
+        for sender, payload in self._echo_seen.get(view, []):
+            if sender not in counted:
+                self._arm_echo_verify(sender, payload)
+        for _sender, payload in self._blame_seen.get(view, []):
+            self._arm_blame_verify(payload)
+        for _sender, payload in self._equiv_seen.get(view, []):
+            self._arm_equivocate_verify(payload)
 
     def on_sub_output(self, name: Any, value: Any) -> None:
         stage, view = name
@@ -322,11 +431,19 @@ class NWH(Protocol):
             return
         if payload.vote.signer != sender:
             return
+        journal = self._echo_seen.setdefault(view, [])
+        if any(seen_sender == sender for seen_sender, _msg in journal):
+            return  # one pending-verification echo per sender per view
+        journal.append((sender, payload))
+        self._arm_echo_verify(sender, payload)
 
+    def _arm_echo_verify(self, sender: int, payload: EchoMsg) -> None:
         def verified() -> None:
             self._on_verified_echo(sender, payload)
 
-        self._when_pe_verifies(view, key_tuple, payload.election_proof, verified)
+        self._when_pe_verifies(
+            payload.view, payload.key, payload.election_proof, verified
+        )
 
     def _on_verified_echo(self, sender: int, payload: EchoMsg) -> None:
         view = payload.view
@@ -430,6 +547,11 @@ class NWH(Protocol):
             return
         if not (view <= key_tuple.view or key_tuple.view < payload.lock_view):
             return
+        if self._journal_fault(self._blame_seen, view, sender, payload):
+            self._arm_blame_verify(payload)
+
+    def _arm_blame_verify(self, payload: BlameMsg) -> None:
+        view = payload.view
 
         def verified() -> None:
             if self.terminated or self.view != view or view in self._advanced:
@@ -438,7 +560,7 @@ class NWH(Protocol):
             self.multicast(payload)
             self._advance_view(view)
 
-        self._when_pe_verifies(view, key_tuple, payload.election_proof, verified)
+        self._when_pe_verifies(view, payload.key, payload.election_proof, verified)
 
     def _on_equivocate(self, sender: int, payload: EquivocateMsg) -> None:
         view = payload.view
@@ -451,7 +573,11 @@ class NWH(Protocol):
             payload.key_b.value,
         ):
             return
+        if self._journal_fault(self._equiv_seen, view, sender, payload):
+            self._arm_equivocate_verify(payload)
 
+    def _arm_equivocate_verify(self, payload: EquivocateMsg) -> None:
+        view = payload.view
         state = {"hits": 0}
 
         def one_verified() -> None:

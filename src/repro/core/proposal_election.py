@@ -64,6 +64,23 @@ class PEEvalShare(Payload):
 class ProposalElection(Protocol):
     """One PE instance; outputs ``(proposal, proof)``."""
 
+    #: Declared mutable state.  ``proposal`` is listed although it is a
+    #: constructor argument: a parent rebuilding this instance (NWH view
+    #: PE) does not know the proposal it originally chose, so the value
+    #: rides the snapshot.  ``gather`` (an instance reference) is
+    #: deliberately absent — it is re-linked by :meth:`build_child`.
+    STATE_FIELDS = (
+        "proposal",
+        "dkg_contributions",
+        "vrf_dkg",
+        "gather_output",
+        "start_eval",
+        "evals",
+        "_pending_shares",
+        "_verified_shares",
+        "_seen_index_bcasts",
+    )
+
     def __init__(
         self,
         proposal: Any,
@@ -83,7 +100,10 @@ class ProposalElection(Protocol):
         self.evals: dict[int, int] = {}
         self._pending_shares: dict[int, dict[int, Any]] = {}
         self._verified_shares: dict[int, dict[int, Any]] = {}
-        self._seen_index_bcasts: set[int] = set()
+        #: dealer -> the index set its broadcast delivered (the set is
+        #: kept, not just the dealer, so restore can re-arm the
+        #: GatherVerify chain for sets still awaiting verification).
+        self._seen_index_bcasts: dict[int, frozenset] = {}
 
     # -- round 1: VRF-DKG dealing -----------------------------------------------------
 
@@ -120,7 +140,7 @@ class ProposalElection(Protocol):
 
     # -- round 2: gather over (proposal, vrf_dkg) ----------------------------------------
 
-    def _start_gather(self) -> None:
+    def _make_gather(self) -> Gather:
         directory = self.directory
         validate = self.validate
 
@@ -133,26 +153,52 @@ class ProposalElection(Protocol):
                 return False
             return tvrf.DKGVerify(directory, dkg)
 
-        self.gather = Gather(
+        return Gather(
             my_value=(self.proposal, self.vrf_dkg),
             validate=check_validity,
             broadcast_kind=self.broadcast_kind,
         )
+
+    def _start_gather(self) -> None:
+        self.gather = self._make_gather()
         self.spawn("gather", self.gather)
 
     # -- round 3: broadcast the index set -------------------------------------------------
 
-    def _spawn_index_broadcast(self, dealer: int, value: Optional[frozenset]) -> None:
+    def _make_index_broadcast(
+        self, dealer: int, value: Optional[frozenset]
+    ) -> Protocol:
         n, minimum = self.n, self.quorum
-        self.spawn(
-            ("idx", dealer),
-            make_broadcast(
-                self.broadcast_kind,
-                dealer,
-                value=value,
-                validate=lambda s: _valid_index_set(s, n, minimum),
-            ),
+        return make_broadcast(
+            self.broadcast_kind,
+            dealer,
+            value=value,
+            validate=lambda s: _valid_index_set(s, n, minimum),
         )
+
+    def _spawn_index_broadcast(self, dealer: int, value: Optional[frozenset]) -> None:
+        self.spawn(("idx", dealer), self._make_index_broadcast(dealer, value))
+
+    # -- durability ----------------------------------------------------------------------
+
+    def build_child(self, name: Any) -> Protocol:
+        if name == "gather":
+            self.gather = self._make_gather()
+            return self.gather
+        stage, dealer = name
+        if stage == "idx":
+            return self._make_index_broadcast(dealer, None)
+        raise ValueError(f"unknown ProposalElection child {name!r}")
+
+    def rearm(self) -> None:
+        # Re-issue the GatherVerify chain for every index broadcast seen:
+        # chains already satisfied re-resolve and release no new shares
+        # (``_release_shares`` keys off ``start_eval``), chains still
+        # pending re-register exactly the conditions the crash dropped.
+        for dealer in self._seen_index_bcasts:
+            self._arm_index_verify(dealer)
+        if self.gather_output is not None:
+            self._arm_output_condition()
 
     def on_sub_output(self, name: Any, value: Any) -> None:
         if name == "gather":
@@ -169,7 +215,11 @@ class ProposalElection(Protocol):
     def _on_index_broadcast(self, dealer: int, index_set: frozenset) -> None:
         if dealer in self._seen_index_bcasts:
             return
-        self._seen_index_bcasts.add(dealer)
+        self._seen_index_bcasts[dealer] = index_set
+        self._arm_index_verify(dealer)
+
+    def _arm_index_verify(self, dealer: int) -> None:
+        index_set = self._seen_index_bcasts[dealer]
         # The index set may arrive before our own gather even started
         # (we are still collecting DKG shares); defer until it exists.
         self.upon(

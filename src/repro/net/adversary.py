@@ -45,27 +45,131 @@ class SilentBehavior(Behavior):
         return []
 
 
-class CrashBehavior(Behavior):
-    """Honest until ``after_sends`` messages have left, then dead."""
+class FaultSchedule:
+    """Shared crash/recovery bookkeeping for one party's fault window.
 
-    def __init__(self, after_sends: int) -> None:
-        if after_sends < 0:
-            raise ValueError("after_sends must be non-negative")
-        self.after_sends = after_sends
-        self._sent = 0
+    The single source of truth for "is this process down right now":
+    :class:`CrashBehavior`, :class:`CrashRecoverBehavior` and the
+    crash–recovery experiment drivers (``repro.storage.recovery``,
+    ``run_crash_recovery_case``) all consume it instead of keeping their
+    own ``crashed`` flags.  The schedule counts two event streams —
+    outgoing sends (:meth:`note_send`) and deliveries attempted while
+    down (:meth:`note_delivery`) — and flips through at most three
+    phases: up → down (after ``crash_after_sends`` sends) → up again
+    (after ``recover_after_drops`` swallowed deliveries, if configured;
+    ``None`` means the classic terminal crash).
+    """
+
+    def __init__(
+        self,
+        crash_after_sends: int,
+        recover_after_drops: Optional[int] = None,
+    ) -> None:
+        if crash_after_sends < 0:
+            raise ValueError("crash_after_sends must be non-negative")
+        if recover_after_drops is not None and recover_after_drops < 1:
+            raise ValueError("recover_after_drops must be >= 1 (or None)")
+        self.crash_after_sends = crash_after_sends
+        self.recover_after_drops = recover_after_drops
+        self.sent = 0
+        self.dropped = 0
         self.crashed = False
+        self.recovered = False
+
+    @property
+    def down(self) -> bool:
+        return self.crashed and not self.recovered
+
+    def note_send(self) -> bool:
+        """Record one outgoing send; True iff it may leave the process."""
+        if self.down:
+            return False
+        if not self.crashed:
+            self.sent += 1
+            if self.sent > self.crash_after_sends:
+                self.crashed = True
+                return False
+        return True
+
+    def note_delivery(self) -> bool:
+        """Record one delivery attempt; True iff the process receives it.
+
+        Exactly ``recover_after_drops`` deliveries are lost to the
+        outage; the next one finds the process back up, goes through,
+        and is *not* counted in ``dropped``.
+        """
+        if not self.down:
+            return True
+        if (
+            self.recover_after_drops is not None
+            and self.dropped >= self.recover_after_drops
+        ):
+            self.recovered = True
+            return True
+        self.dropped += 1
+        return False
+
+
+class CrashBehavior(Behavior):
+    """Honest until ``after_sends`` messages have left, then dead.
+
+    Either pass ``after_sends`` or hand in an externally owned
+    :class:`FaultSchedule` (a driver that also inspects the crash state
+    shares the same bookkeeping instead of duplicating it).
+    """
+
+    def __init__(
+        self,
+        after_sends: Optional[int] = None,
+        schedule: Optional[FaultSchedule] = None,
+    ) -> None:
+        if (after_sends is None) == (schedule is None):
+            raise ValueError("pass exactly one of after_sends / schedule")
+        self.schedule = schedule or FaultSchedule(crash_after_sends=after_sends)
+
+    @property
+    def crashed(self) -> bool:
+        return self.schedule.crashed
 
     def transform_outgoing(self, envelope: Envelope, rng: random.Random) -> list[Envelope]:
-        if self.crashed:
-            return []
-        self._sent += 1
-        if self._sent > self.after_sends:
-            self.crashed = True
-            return []
-        return [envelope]
+        return [envelope] if self.schedule.note_send() else []
 
     def allow_delivery(self, envelope: Envelope, rng: random.Random) -> bool:
-        return not self.crashed
+        return self.schedule.note_delivery()
+
+
+class CrashRecoverBehavior(Behavior):
+    """A crash *window*: down after ``after_sends`` sends, back up after
+    ``recover_after_drops`` deliveries were lost to the outage.
+
+    This is the omission-fault view of a crash — the process freezes with
+    its memory intact and the messages of the outage window are simply
+    gone.  It composes with any scheduler and needs no storage; contrast
+    with the durable recovery path (``repro.storage.recovery``), where
+    the process loses its memory and is rehydrated from snapshot + WAL
+    via the transport's detach/reattach.  E14 runs both, and the gap
+    between them is exactly what the write-ahead storage buys.
+    """
+
+    def __init__(self, after_sends: int, recover_after_drops: int) -> None:
+        self.schedule = FaultSchedule(
+            crash_after_sends=after_sends,
+            recover_after_drops=recover_after_drops,
+        )
+
+    @property
+    def crashed(self) -> bool:
+        return self.schedule.down
+
+    @property
+    def recovered(self) -> bool:
+        return self.schedule.recovered
+
+    def transform_outgoing(self, envelope: Envelope, rng: random.Random) -> list[Envelope]:
+        return [envelope] if self.schedule.note_send() else []
+
+    def allow_delivery(self, envelope: Envelope, rng: random.Random) -> bool:
+        return self.schedule.note_delivery()
 
 
 class DropBehavior(Behavior):

@@ -24,13 +24,22 @@ Completed sessions can be garbage-collected (:meth:`Party.collect_session`):
 their instance tree, buffered messages and conditions are freed, the
 result is kept as a tombstone, and late traffic for them is dropped and
 counted as stale.
+
+Durability: :meth:`Party.freeze` serializes the whole session table —
+every instance's declared state, the pending buffers, the per-session
+RNG streams, results and tombstones — into one codec blob (no pickle);
+:meth:`Party.thaw` rebuilds an equivalent party from such a blob plus
+the application's root factory, and :meth:`Party.replay` pushes a
+write-ahead log of post-snapshot envelopes back through the normal
+:meth:`deliver` path with network re-sends suppressed (they already left
+in the party's previous life).  See DESIGN.md section 9.
 """
 
 from __future__ import annotations
 
 import random
 from collections import Counter
-from typing import Any, Iterator, Optional, TYPE_CHECKING
+from typing import Any, Callable, Iterable, Iterator, Mapping, Optional, TYPE_CHECKING
 
 from repro.net.conditions import ConditionRegistry
 from repro.net.envelope import Envelope, Path
@@ -39,6 +48,12 @@ from repro.net.protocol import Protocol
 
 if TYPE_CHECKING:
     from repro.crypto.keys import PartySecret, PublicDirectory
+
+#: Leading tag + version of a :meth:`Party.freeze` blob.  The version is
+#: part of the encoded value, checked strictly on thaw: a future format
+#: bump can never be misread as the current one.
+SNAPSHOT_TAG = "repro-party-snapshot"
+SNAPSHOT_VERSION = 1
 
 
 class SessionState:
@@ -416,6 +431,217 @@ class Party:
         """Stop processing and sending (used by crash behaviours)."""
         self.halted = True
         self._outbox.clear()
+
+    # -- durability: freeze / thaw / replay ---------------------------------------------
+
+    def freeze(self) -> bytes:
+        """Serialize this party's full protocol state to one codec blob.
+
+        Must be called at a delivery boundary (outbox drained, conditions
+        at fixpoint) — exactly where the durability recorder checkpoints.
+        The blob carries, per session: the RNG stream state, the pending
+        buffers, result/tombstone bookkeeping and every instance's
+        :meth:`~repro.net.protocol.Protocol.snapshot` record in spawn
+        order.  Constructor-time configuration (directory, secret, caps)
+        is *not* serialized — a thawing party is rebuilt from the same
+        trusted setup and the application's root factory.
+        """
+        from repro.net import codec
+
+        if self._outbox:
+            raise RuntimeError(
+                "freeze() requires a drained outbox; snapshot at delivery "
+                "boundaries only"
+            )
+        sessions = []
+        for state in self.sessions:
+            instances = [
+                (path, instance.snapshot())
+                for path, instance in state.instances.items()
+            ]
+            sessions.append(
+                (
+                    state.sid,
+                    state.collected,
+                    state.backlog_counted,
+                    state.has_result,
+                    state.result if state.has_result else None,
+                    state.result_depth,
+                    state.rng.getstate(),
+                    state.pending,
+                    instances,
+                )
+            )
+        value = (
+            SNAPSHOT_TAG,
+            SNAPSHOT_VERSION,
+            self.index,
+            self.n,
+            self.f,
+            self.current_depth,
+            dict(self.drop_stats),
+            sessions,
+        )
+        return codec.encode(value)
+
+    def thaw(
+        self,
+        blob: bytes,
+        root_factory: Optional[Callable[["Party"], Protocol]] = None,
+        root_factories: Optional[Mapping[int, Callable[["Party"], Protocol]]] = None,
+    ) -> None:
+        """Rebuild the session table from a :meth:`freeze` blob.
+
+        Must be called on a pristine party constructed with the same
+        ``(index, n, f, rng_label, directory, secret)`` as the frozen
+        one.  ``root_factory`` rebuilds each rooted session's root
+        instance (``root_factories`` overrides it per session id);
+        children are rebuilt recursively through each parent's
+        :meth:`~repro.net.protocol.Protocol.build_child`, ``on_start`` is
+        never re-run, and every instance's pending ``upon`` conditions
+        are re-derived via :meth:`~repro.net.protocol.Protocol.rearm`.
+        """
+        from repro.net import codec
+
+        if len(self.sessions) or self._outbox:
+            raise RuntimeError("thaw() requires a pristine party")
+        value = codec.decode(blob)
+        if (
+            not isinstance(value, tuple)
+            or len(value) != 8
+            or value[0] != SNAPSHOT_TAG
+        ):
+            raise ValueError("not a party snapshot blob")
+        tag, version, index, n, f, depth, drop_stats, sessions = value
+        if version != SNAPSHOT_VERSION:
+            raise ValueError(f"unsupported party snapshot version {version}")
+        if (index, n, f) != (self.index, self.n, self.f):
+            raise ValueError(
+                f"snapshot of party {index} (n={n}, f={f}) cannot thaw "
+                f"party {self.index} (n={self.n}, f={self.f})"
+            )
+        self.current_depth = depth
+        self.drop_stats = Counter(drop_stats)
+        restored: list[tuple[SessionState, list[Protocol]]] = []
+        for record in sessions:
+            (
+                sid,
+                collected,
+                backlog_counted,
+                has_result,
+                result,
+                result_depth,
+                rng_state,
+                pending,
+                instances,
+            ) = record
+            state = self.sessions.ensure(sid)
+            state.rng.setstate(rng_state)
+            if has_result:
+                state.result = result
+            state.result_depth = result_depth
+            state.pending = dict(pending)
+            state.pending_count = sum(len(bucket) for bucket in pending.values())
+            if backlog_counted:
+                state.backlog_counted = True
+                self.sessions.unstarted_count += 1
+            if collected:
+                self.sessions.collect(sid)
+                continue
+            order: list[Protocol] = []
+            for path, snap in instances:
+                if path == ():
+                    factory = None
+                    if root_factories is not None:
+                        factory = root_factories.get(sid)
+                    if factory is None:
+                        factory = root_factory
+                    if factory is None:
+                        raise ValueError(
+                            f"session {sid} has a root but no root factory "
+                            "was provided"
+                        )
+                    instance = self._restore_install(state, (), None, None, factory(self))
+                else:
+                    parent = state.instances.get(path[:-1])
+                    if parent is None:
+                        raise ValueError(
+                            f"snapshot instance {path!r} precedes its parent"
+                        )
+                    name = path[-1]
+                    instance = self._restore_install(
+                        state, path, parent, name, parent.build_child(name)
+                    )
+                instance.restore(snap)
+                order.append(instance)
+            restored.append((state, order))
+        # Re-arm conditions only once every tree stands, then sweep: a
+        # re-armed chain may consult sibling instances.  The sweep must
+        # not produce network sends — the snapshot was taken at a
+        # condition fixpoint, so anything that fires here re-fires
+        # already-done (idempotent) work.
+        for state, order in restored:
+            for instance in order:
+                instance.rearm()
+            state.conditions.run_to_fixpoint()
+        if self._outbox:
+            sends = [path for _s, path, _r, _p in self._outbox]
+            raise RuntimeError(
+                f"thaw() produced network sends from re-armed conditions: "
+                f"{sends!r} — a protocol's rearm() is not idempotent"
+            )
+
+    def _restore_install(
+        self,
+        state: SessionState,
+        path: Path,
+        parent: Optional[Protocol],
+        name: Any,
+        protocol: Protocol,
+    ) -> Protocol:
+        """Install a rebuilt instance without ``on_start`` or pending replay."""
+        if path in state.instances:
+            raise RuntimeError(
+                f"instance already exists at {path!r} in session {state.sid}"
+            )
+        protocol._party = self
+        protocol._path = path
+        protocol._parent = parent
+        protocol._name = name
+        protocol._session = state.sid
+        if path == ():
+            self.sessions.mark_started(state)
+        state.instances[path] = protocol
+        return protocol
+
+    def replay(self, envelopes: Iterable[Envelope]) -> dict[str, int]:
+        """Re-deliver a write-ahead log through the normal event path.
+
+        Each envelope runs the exact live pipeline — :meth:`deliver`,
+        then the outbox drained with self-addressed envelopes delivered
+        inline — except that *network* sends are suppressed instead of
+        transmitted: they already left the party in its pre-crash life,
+        and re-emitting them would duplicate traffic.  Suppressions are
+        counted in ``drop_stats["replay.suppressed"]``.  Determinism of
+        the replay (same RNG stream, same delivery order, same condition
+        sweeps) makes the rebuilt state exact.
+        """
+        delivered = 0
+        suppressed = 0
+        for envelope in envelopes:
+            self.deliver(envelope)
+            delivered += 1
+            pending = self.collect_outbox()
+            while pending:
+                queued = pending.pop(0)
+                if queued.recipient == self.index:
+                    self.deliver(queued)
+                    pending.extend(self.collect_outbox())
+                else:
+                    suppressed += 1
+        if suppressed:
+            self.drop_stats["replay.suppressed"] += suppressed
+        return {"delivered": delivered, "suppressed": suppressed}
 
 
 class _Unset:

@@ -16,6 +16,32 @@ to the party if this is the root), and ``upon`` registers an "upon
 
 Protocols never block; the paper's "wait for X" clauses become ``upon``
 conditions over accumulated state.
+
+Durability contract
+-------------------
+Every protocol is an *explicitly serializable* state machine: its whole
+mutable state lives in the attributes named by :attr:`Protocol.STATE_FIELDS`
+(codec-encodable values only — no closures, no instance references), so a
+party can be frozen to bytes mid-session and rehydrated elsewhere (see
+:meth:`repro.net.party.Party.freeze` / ``thaw`` and DESIGN.md section 9).
+Four hooks implement the contract:
+
+* :meth:`capture_state` / :meth:`apply_state` — read/write the declared
+  fields (override only to convert representations, e.g. a ``defaultdict``);
+* :meth:`build_child` — reconstruct a previously spawned child instance
+  (the parent supplies the non-serializable constructor arguments such as
+  validator closures; the child's mutable state is restored separately);
+* :meth:`rearm` — re-register the pending ``upon`` conditions implied by
+  the restored state.  Conditions are never serialized: they are closures,
+  but every one of them is a pure function of declared state, so the
+  restored instance re-derives them.  Actions must therefore be idempotent
+  with respect to already-fired work (the snapshot is always taken at a
+  condition fixpoint, so a re-armed condition that is immediately
+  satisfiable corresponds to work that already ran and must re-fire as a
+  no-op).
+
+``on_start`` is *not* called on restore — its sends already happened in
+the pre-snapshot life of the instance.
 """
 
 from __future__ import annotations
@@ -33,6 +59,12 @@ if TYPE_CHECKING:
 
 class Protocol:
     """Base class for sans-io protocol instances."""
+
+    #: Names of the attributes that constitute this instance's mutable
+    #: state.  Everything a restored instance needs beyond its
+    #: constructor arguments must be listed here and hold codec-encodable
+    #: values; ``snapshot()``/``restore()`` round-trip exactly these.
+    STATE_FIELDS: tuple[str, ...] = ()
 
     def __init__(self) -> None:
         self._party: Optional["Party"] = None
@@ -158,3 +190,81 @@ class Protocol:
         completion = Completion()
         self.upon(predicate, lambda: completion.resolve(value_fn()), label=label)
         return completion
+
+    # -- durability (snapshot / restore) ------------------------------------------------
+
+    def snapshot(self) -> tuple:
+        """This instance's serializable record: ``(class_name, done, value, state)``.
+
+        The record is codec-encodable by construction (every declared
+        state field must hold encodable values) and carries the base
+        output bookkeeping alongside :meth:`capture_state`'s fields.
+        ``class_name`` is a restore-time sanity check, not a factory key:
+        instances are rebuilt by :meth:`build_child` / the root factory,
+        never by reflection over the wire bytes.
+        """
+        return (
+            type(self).__name__,
+            self._output_done,
+            self.output_value,
+            self.capture_state(),
+        )
+
+    def restore(self, record: tuple) -> None:
+        """Apply a :meth:`snapshot` record to this freshly constructed instance.
+
+        The instance must already be installed at its path (so ``party``
+        and ``session`` resolve) and must have been built with equivalent
+        constructor arguments.  Children and conditions are *not* handled
+        here — the party's thaw walks the tree via :meth:`build_child`
+        and calls :meth:`rearm` once the whole tree stands.
+        """
+        cls_name, done, value, state = record
+        if cls_name != type(self).__name__:
+            raise ValueError(
+                f"snapshot of {cls_name!r} cannot restore a "
+                f"{type(self).__name__!r} at {self._path!r}"
+            )
+        self._output_done = bool(done)
+        self.output_value = value
+        self.apply_state(state)
+
+    def capture_state(self) -> dict:
+        """The declared state fields as an encodable dict.
+
+        Override when a field's in-memory representation is not directly
+        encodable (e.g. rebuild a ``defaultdict`` in :meth:`apply_state`);
+        the override must stay the exact inverse of ``apply_state``.
+        """
+        return {name: getattr(self, name) for name in self.STATE_FIELDS}
+
+    def apply_state(self, state: dict) -> None:
+        """Set the declared state fields from a :meth:`capture_state` dict."""
+        for name in self.STATE_FIELDS:
+            if name not in state:
+                raise ValueError(
+                    f"snapshot for {type(self).__name__} misses field {name!r}"
+                )
+            setattr(self, name, state[name])
+
+    def build_child(self, name: Any) -> "Protocol":
+        """Reconstruct the child instance spawned under ``name``.
+
+        Called during restore, after this instance's own state was
+        applied, once per child recorded in the snapshot.  The parent
+        supplies exactly the constructor arguments the original spawn
+        used (validators, broadcast kinds, ...); ``on_start`` is never
+        called on the rebuilt child.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} spawned child {name!r} but does not "
+            "implement build_child()"
+        )
+
+    def rearm(self) -> None:
+        """Re-register the pending ``upon`` conditions implied by state.
+
+        Called once per instance after the whole tree was restored
+        (parents before children, in original spawn order).  The default
+        is no conditions.
+        """

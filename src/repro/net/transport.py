@@ -138,23 +138,33 @@ class Transport:
         #: O(incomplete sessions) dict lookups instead of an O(n) scan
         #: over all honest parties.
         self._session_waiting: dict[int, set[int]] = {}
+        #: Detached (crashed) party indices mapped to the envelopes parked
+        #: for them while down; re-injected on :meth:`reattach_party`.
+        self._detached: dict[int, list[Envelope]] = {}
         # Party RNG streams are namespace-independent so that the same
         # (seed, index) deals identical PVSS contributions on every
         # transport — the cross-transport equivalence tests rely on it.
         # The same string doubles as the per-session RNG derivation label,
         # making session ``s`` transport- and interleaving-independent too.
-        self.parties = [
-            Party(
-                index=i,
-                n=self.n,
-                f=self.f,
-                rng=random.Random(f"party-{seed}-{i}"),
-                directory=directory,
-                secret=setup.secret(i),
-                rng_label=f"party-{seed}-{i}",
-            )
-            for i in range(self.n)
-        ]
+        self.parties = [self.build_party(i) for i in range(self.n)]
+
+    def build_party(self, index: int) -> Party:
+        """A pristine party with this transport's canonical constructor args.
+
+        Used at construction and by crash recovery: a rehydrated
+        replacement must be built with byte-identical configuration
+        (RNG label, directory, secret) for
+        :meth:`~repro.net.party.Party.thaw` to be exact.
+        """
+        return Party(
+            index=index,
+            n=self.n,
+            f=self.f,
+            rng=random.Random(f"party-{self.seed}-{index}"),
+            directory=self.setup.directory,
+            secret=self.setup.secret(index),
+            rng_label=f"party-{self.seed}-{index}",
+        )
 
     def _bind_work_counters(self, directory: Any) -> None:
         """Expose hot-path work counters as deltas over this run.
@@ -456,6 +466,13 @@ class Transport:
         call this per envelope and :meth:`_flush_coalesced` once at the
         end, so one burst of activations coalesces into shared frames.
         """
+        parked = self._detached.get(envelope.recipient)
+        if parked is not None:
+            # The recipient's process is down: park the delivery the way
+            # a reconnecting link's send queue would, to be re-injected
+            # on reattach.  Parked traffic is not metered as delivered.
+            parked.append(envelope)
+            return False
         behavior = self.behaviors.get(envelope.recipient)
         if behavior is not None and not behavior.allow_delivery(
             envelope, self._adv_rng
@@ -488,6 +505,60 @@ class Transport:
             self._delivery_observers.remove(observer)
         except ValueError:
             pass
+
+    # -- detach / reattach (crash–recovery) ----------------------------------------------
+
+    def detach_party(self, index: int) -> None:
+        """Take a party's process down mid-run.
+
+        Its in-memory protocol state is considered lost (the object is
+        halted and will be replaced on reattach); traffic addressed to it
+        is parked — modelling peers' transport-level send queues across a
+        reconnect — and re-injected by :meth:`reattach_party`.  Works
+        identically on every runtime because parking happens in the
+        shared delivery pipeline.
+        """
+        if not 0 <= index < self.n:
+            raise ValueError(f"party index {index} out of range")
+        if index in self._detached:
+            raise RuntimeError(f"party {index} is already detached")
+        self._detached[index] = []
+        self.parties[index].halt()
+
+    def detached_parties(self) -> frozenset[int]:
+        return frozenset(self._detached)
+
+    def reattach_party(self, index: int, party: Optional[Party] = None) -> int:
+        """Bring a detached party back and drain its parked traffic.
+
+        ``party`` is the rehydrated replacement (built via
+        :meth:`build_party` and ``thaw``-ed from durable storage); omit it
+        to reattach the original in-memory object (an omission-style
+        fault with no state loss).  Parked envelopes are re-injected
+        through the normal delivery pipeline — and therefore through the
+        batching plane — in arrival order.  Returns the number of parked
+        envelopes actually delivered.
+        """
+        if index not in self._detached:
+            raise RuntimeError(f"party {index} is not detached")
+        parked = self._detached.pop(index)
+        if party is not None:
+            if party.index != index:
+                raise ValueError(
+                    f"replacement party has index {party.index}, expected {index}"
+                )
+            self.parties[index] = party
+        else:
+            self.parties[index].halted = False
+        delivered = 0
+        for envelope in parked:
+            if self._deliver_buffered(envelope):
+                delivered += 1
+        self._flush_coalesced()
+        # A thawed party may already hold session results produced before
+        # the crash; fold them into done-detection immediately.
+        self._note_progress(self.parties[index])
+        return delivered
 
     def _buffered_delay(self, envelope: Envelope) -> Any:
         """Transport-specific in-flight parameter drawn at buffer time.

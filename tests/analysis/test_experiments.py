@@ -88,3 +88,18 @@ def test_rbc_ablation_rows():
     kinds = {row["kind"] for row in rows}
     assert kinds == {"ct", "bracha"}
     assert all(row["experiment"] == "E9" for row in rows)
+
+
+def test_crash_recovery_matrix_rows():
+    rows = exp.run_crash_recovery_matrix(n=4, seed=1, recovery_delays=(3.0,))
+    assert {row["fault"] for row in rows} == {
+        "dealer",
+        "leader-candidate",
+        "f-parties",
+        "dealer+byz-schedule",
+    }
+    for row in rows:
+        assert row["experiment"] == "E14"
+        assert row["agreement"] and row["valid"], row
+        assert row["honest_outputs"] == 4
+        assert row["recovery_latency"] >= 0

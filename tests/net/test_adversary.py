@@ -48,6 +48,55 @@ def test_crash_behavior_counts_sends():
         CrashBehavior(after_sends=-1)
 
 
+def test_crash_behavior_accepts_shared_schedule():
+    from repro.net.adversary import FaultSchedule
+
+    schedule = FaultSchedule(crash_after_sends=1)
+    behavior = CrashBehavior(schedule=schedule)
+    assert behavior.transform_outgoing(_env(), RNG)
+    assert behavior.transform_outgoing(_env(), RNG) == []
+    # One bookkeeping object: the driver reads the same state.
+    assert schedule.crashed and behavior.crashed
+    with pytest.raises(ValueError):
+        CrashBehavior(after_sends=1, schedule=schedule)
+    with pytest.raises(ValueError):
+        CrashBehavior()
+
+
+def test_fault_schedule_phases():
+    from repro.net.adversary import FaultSchedule
+
+    schedule = FaultSchedule(crash_after_sends=2, recover_after_drops=3)
+    assert schedule.note_send() and schedule.note_send()
+    assert not schedule.note_send()  # the crashing send is lost
+    assert schedule.down
+    # Exactly three deliveries are lost to the outage window...
+    assert not schedule.note_delivery()
+    assert not schedule.note_delivery()
+    assert not schedule.note_delivery()
+    # ...and the fourth finds the process back up and goes through.
+    assert schedule.note_delivery()
+    assert schedule.recovered and not schedule.down
+    assert schedule.note_send()  # sends flow again after recovery
+    assert schedule.dropped == 3  # only genuinely lost deliveries count
+    with pytest.raises(ValueError):
+        FaultSchedule(crash_after_sends=1, recover_after_drops=0)
+
+
+def test_crash_recover_behavior_window():
+    from repro.net.adversary import CrashRecoverBehavior
+
+    behavior = CrashRecoverBehavior(after_sends=1, recover_after_drops=2)
+    assert behavior.transform_outgoing(_env(), RNG)
+    assert behavior.transform_outgoing(_env(), RNG) == []
+    assert behavior.crashed and not behavior.recovered
+    assert not behavior.allow_delivery(_env(recipient=0), RNG)
+    assert not behavior.allow_delivery(_env(recipient=0), RNG)
+    assert behavior.allow_delivery(_env(recipient=0), RNG)
+    assert behavior.recovered and not behavior.crashed
+    assert behavior.transform_outgoing(_env(), RNG)
+
+
 def test_drop_behavior_rate_extremes():
     keep_all = DropBehavior(rate=0.0)
     drop_all = DropBehavior(rate=1.0)

@@ -1,0 +1,248 @@
+"""End-to-end in-session crash–recovery over the durable storage layer."""
+
+import pytest
+
+from repro.core.adkg import ADKG
+from repro.crypto.keys import TrustedSetup
+from repro.net.adversary import CrashRecoverBehavior, RandomLagScheduler
+from repro.net.delays import FixedDelay
+from repro.net.runtime import Simulation
+from repro.storage import DurabilityRecorder, SnapshotStore, run_crash_recovery
+
+
+def test_sim_crash_recovery_reaches_agreement():
+    report = run_crash_recovery(
+        transport="sim",
+        n=4,
+        seed=1,
+        crash_indices=[0],
+        crash_after=40,
+        recovery_delay=5.0,
+        cadence=16,
+    )
+    assert report["agreement"] and report["valid"]
+    assert report["honest_outputs"] == 4
+    assert report["public_key"] is not None
+    assert report["reattach_at"] >= report["crash_at"] + 5.0
+    stats = report["replay"][0]
+    # The replay regenerated (and suppressed) traffic the pre-crash
+    # process already emitted — the duplicate-suppression invariant.
+    assert stats["wal_records"] >= 0
+    assert report["parked_delivered"][0] > 0
+
+
+def test_crash_before_first_delivery_recovers():
+    """The genesis checkpoint covers a crash at delivery count zero."""
+    report = run_crash_recovery(
+        transport="sim",
+        n=4,
+        seed=1,
+        crash_indices=[0],
+        crash_after=0,
+        recovery_delay=3.0,
+        cadence=16,
+    )
+    assert report["agreement"] and report["valid"]
+    assert report["replay"][0]["wal_records"] == 0
+
+
+def test_sim_crash_recovery_same_key_as_uninterrupted_run():
+    """At f=0 the recovered run agrees on the very same group public key."""
+    from repro import run_adkg
+
+    n, seed = 3, 5  # n=3 -> f=0: every party's aggregate is order-free
+    baseline = run_adkg(n=n, seed=seed)
+    report = run_crash_recovery(
+        transport="sim",
+        n=n,
+        seed=seed,
+        crash_indices=[0],
+        crash_after=20,
+        recovery_delay=4.0,
+        cadence=8,
+    )
+    assert report["agreement"] and report["valid"]
+    assert report["public_key"] == baseline.public_key
+
+
+@pytest.mark.parametrize("batching", (True, False), ids=("batched", "unbatched"))
+def test_sim_tcp_crash_recovery_same_public_key(batching):
+    """The acceptance gate: sim ≡ tcp group public key at f=0, with a
+    mid-session crash–recovery in both runs."""
+    n, seed = 3, 7
+    reports = {}
+    for kind, delay in (("sim", 4.0), ("tcp", 0.05)):
+        reports[kind] = run_crash_recovery(
+            transport=kind,
+            n=n,
+            seed=seed,
+            crash_indices=[1],
+            crash_after=15,
+            recovery_delay=delay,
+            cadence=8,
+            batching=batching,
+        )
+        assert reports[kind]["agreement"] and reports[kind]["valid"], kind
+    assert reports["sim"]["public_key"] == reports["tcp"]["public_key"]
+
+
+def test_asyncio_crash_recovery_reaches_agreement():
+    """Detach/reattach rides the shared pipeline on the asyncio runtime too."""
+    report = run_crash_recovery(
+        transport="asyncio",
+        n=4,
+        seed=1,
+        crash_indices=[2],
+        crash_after=20,
+        recovery_delay=0.05,
+        cadence=8,
+        timeout=60.0,
+    )
+    assert report["agreement"] and report["valid"]
+    assert report["honest_outputs"] == 4
+
+
+def test_crash_f_parties_under_byzantine_scheduling():
+    """f simultaneous crash–recoveries + adversarial lag still agree."""
+    report = run_crash_recovery(
+        transport="sim",
+        n=4,
+        seed=2,
+        crash_indices=[3],  # f = 1 at n = 4
+        crash_after=30,
+        recovery_delay=10.0,
+        cadence=8,
+        scheduler=RandomLagScheduler(factor=15.0, rate=0.3),
+    )
+    assert report["agreement"] and report["valid"]
+    assert report["honest_outputs"] == 4
+
+
+def test_recorder_checkpoints_and_compacts(tmp_path):
+    setup = TrustedSetup.generate(4, seed=1)
+    sim = Simulation(setup, seed=1, delay_model=FixedDelay(1.0))
+    store = SnapshotStore(tmp_path)
+    recorder = DurabilityRecorder(sim, 0, store, cadence=8)
+    sim.start(lambda p: ADKG())
+    sim.run(stop=lambda s: recorder.deliveries >= 20)
+    assert store.has_snapshot(0)
+    assert recorder.checkpoints >= 2
+    # Compaction: the WAL holds fewer records than one full cadence.
+    assert len(store.wal(0).replay()) < 8
+    # Only party 0's traffic was journaled.
+    assert not store.has_snapshot(1)
+    recorder.detach()
+    before = recorder.deliveries
+    sim.run(stop=lambda s: s.steps >= sim.steps + 50)
+    assert recorder.deliveries == before  # detached observers see nothing
+    store.close()
+
+
+def test_crash_recover_behavior_omission_window():
+    """The behavior-level crash window (no state loss) also converges."""
+    behavior = CrashRecoverBehavior(after_sends=10, recover_after_drops=15)
+    setup = TrustedSetup.generate(4, seed=4)
+    sim = Simulation(
+        setup, seed=4, delay_model=FixedDelay(1.0), behaviors={3: behavior}
+    )
+    sim.start(lambda p: ADKG())
+    sim.run_until_all_honest_output()
+    assert behavior.schedule.crashed and behavior.recovered
+    outputs = list(sim.honest_results().values())
+    assert outputs and all(o == outputs[0] for o in outputs)
+
+
+def test_reused_storage_dir_is_cleared(tmp_path):
+    """A fresh run over an explicit storage dir must not rehydrate from a
+    previous run's stale snapshot/WAL."""
+    first = run_crash_recovery(
+        transport="sim", n=4, seed=1, crash_indices=[0],
+        crash_after=30, recovery_delay=4.0, cadence=8,
+        storage_dir=tmp_path,
+    )
+    assert first["agreement"]
+    # Same directory, different seed: stale seed-1 artifacts must not leak.
+    second = run_crash_recovery(
+        transport="sim", n=4, seed=2, crash_indices=[0],
+        crash_after=30, recovery_delay=4.0, cadence=8,
+        storage_dir=tmp_path,
+    )
+    assert second["agreement"] and second["valid"]
+    assert second["public_key"] != first["public_key"]  # genuinely seed-2
+
+
+def test_recovery_rejects_out_of_range_indices():
+    with pytest.raises(ValueError, match="out of range"):
+        run_crash_recovery(transport="sim", n=4, crash_indices=[9])
+
+
+def test_nwh_fault_journals_are_bounded():
+    """Duplicate Byzantine fault messages must not grow the journals
+    (and therefore the freeze() blobs) without bound."""
+    from repro.core import certificates as certs
+    from repro.core.nwh import NWH, BlameMsg, EchoMsg
+
+    setup = TrustedSetup.generate(4, seed=1)
+    sim = Simulation(setup, seed=1, delay_model=FixedDelay(1.0))
+    sim.start(lambda p: NWH(my_value=("v", p.index)))
+    nwh = sim.parties[0].instance(())
+    key = certs.KeyTuple(0, ("v", 1), None)
+    vote = certs.make_vote(
+        setup.directory, setup.secret(1), certs.KIND_ECHO, key.value, 1
+    )
+    echo = EchoMsg(key=key, election_proof=frozenset(), vote=vote, view=1)
+    for _ in range(10):
+        nwh.on_message(1, echo)
+    assert len(nwh._echo_seen[1]) == 1  # one pending echo per sender
+
+    def blame(i):
+        return BlameMsg(
+            key=certs.KeyTuple(5 + i, ("v", 1), None),
+            election_proof=frozenset(),
+            lock_view=0,
+            lock_value=("v", 0),
+            lock_proof=None,
+            view=1,
+        )
+
+    cap = nwh.PER_SENDER_FAULT_CAP
+    for i in range(cap + 10):
+        nwh.on_message(1, blame(i))
+        nwh.on_message(1, blame(i))  # exact duplicates are ignored outright
+    assert len(nwh._blame_seen[1]) == cap
+    # Per-sender, not shared: a spammer cannot censor another sender's
+    # (distinct) fault message out of the journal.
+    nwh.on_message(2, blame(cap + 50))
+    assert len(nwh._blame_seen[1]) == cap + 1
+
+
+def test_recovery_refuses_byzantine_crash_indices():
+    from repro.net.adversary import SilentBehavior
+
+    with pytest.raises(ValueError, match="honest"):
+        run_crash_recovery(
+            transport="sim",
+            n=4,
+            seed=1,
+            crash_indices=[3],
+            behaviors={3: SilentBehavior()},
+        )
+
+
+def test_detach_reattach_without_state_loss():
+    """Transport-level detach alone is an omission fault: parked traffic
+    drains on reattach and the run completes."""
+    setup = TrustedSetup.generate(4, seed=6)
+    sim = Simulation(setup, seed=6, delay_model=FixedDelay(1.0))
+    sim.start(lambda p: ADKG())
+    for _ in range(40):
+        sim.step()
+    sim.detach_party(2)
+    assert sim.detached_parties() == frozenset({2})
+    deadline = sim.time + 6.0
+    sim.run(stop=lambda s: s.time >= deadline)
+    delivered = sim.reattach_party(2)  # same object, memory intact
+    assert delivered > 0
+    sim.run_until_all_honest_output()
+    outputs = list(sim.honest_results().values())
+    assert len(outputs) == 4 and all(o == outputs[0] for o in outputs)

@@ -110,3 +110,42 @@ def test_run_profile_prints_top_entries(capsys):
     assert code == 0
     assert "cumulative" in out  # cProfile table, sorted by cumulative time
     assert "agreed:        True" in out
+
+
+def test_run_crash_recover(capsys, tmp_path):
+    code = main(
+        [
+            "run",
+            "-n",
+            "4",
+            "--seed",
+            "1",
+            "--crash",
+            "0@30",
+            "--recover",
+            "0@6",
+            "--cadence",
+            "8",
+            "--storage-dir",
+            str(tmp_path),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "agreed:            True" in out
+    assert "transcript valid:  True" in out
+    assert "recovery latency:" in out
+    # The durable artifacts landed in the requested directory.
+    assert (tmp_path / "party-0" / "snapshot.bin").exists()
+
+
+def test_run_crash_flag_validation(capsys):
+    assert main(["run", "-n", "4", "--recover", "0@5"]) == 2
+    assert "requires --crash" in capsys.readouterr().err
+    assert main(["run", "-n", "4", "--crash", "0@30", "--full"]) == 2
+    assert "incompatible" in capsys.readouterr().err
+    code = main(["run", "-n", "4", "--crash", "0@30", "--recover", "2@5"])
+    assert code == 2
+    assert "never crash" in capsys.readouterr().err
+    with pytest.raises(SystemExit):
+        main(["run", "-n", "4", "--crash", "zero@30"])
