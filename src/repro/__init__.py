@@ -24,6 +24,7 @@ paper-vs-measured results.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
@@ -99,6 +100,7 @@ def run_adkg(
     batching: Optional[bool] = None,
     timeout: float = 120.0,
     max_steps: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> ADKGResult:
     """Run one A-DKG over the selected transport and return result + metrics.
 
@@ -119,6 +121,13 @@ def run_adkg(
     ``to_quiescence=True`` to keep running after agreement so that
     ``words_total`` counts every message the protocol ever sends (what
     Theorems 6-10 bound).
+
+    ``workers`` selects the parallel crypto plane (DESIGN §10): ``> 0``
+    verifies over that many pool processes with speculative batch
+    pre-verification; ``0`` is the inline reference plane.  ``None``
+    reads the ``REPRO_WORKERS`` environment variable (default 0).
+    Verdicts, word/byte/message totals and agreement results are
+    byte-identical across worker counts — only wall clock changes.
     """
     if transport != "sim" and (
         to_quiescence
@@ -145,6 +154,10 @@ def run_adkg(
         transport_kwargs["measure_bytes"] = measure_bytes
     if batching is not None:
         transport_kwargs["batching"] = batching
+    if workers is None:
+        workers = int(os.environ.get("REPRO_WORKERS", "0") or "0")
+    if workers:
+        transport_kwargs["workers"] = workers
     runtime = make_transport(
         transport,
         setup,
@@ -152,20 +165,26 @@ def run_adkg(
         seed=seed,
         **transport_kwargs,
     )
-    step_kwargs = {"max_steps": max_steps} if max_steps is not None else {}
-    if to_quiescence:
-        # Simulator only (validated above): keep running after agreement
-        # so words_total counts every message ever sent.
-        runtime.start(root_factory)
-        runtime.run(**step_kwargs)
-    elif step_kwargs:
-        # A raised delivery budget (n=100 sends ~9M messages — past the
-        # default 5M-delivery guard) only makes sense on the simulator.
-        runtime.start(root_factory)
-        runtime.run_until_all_honest_output(**step_kwargs)
-    else:
-        runtime.run_sync(root_factory, timeout=timeout)
-    return _collect_result(runtime, transport)
+    try:
+        step_kwargs = {"max_steps": max_steps} if max_steps is not None else {}
+        if to_quiescence:
+            # Simulator only (validated above): keep running after agreement
+            # so words_total counts every message ever sent.
+            runtime.start(root_factory)
+            runtime.run(**step_kwargs)
+        elif step_kwargs:
+            # A raised delivery budget (n=100 sends ~9M messages — past the
+            # default 5M-delivery guard) only makes sense on the simulator.
+            runtime.start(root_factory)
+            runtime.run_until_all_honest_output(**step_kwargs)
+        else:
+            runtime.run_sync(root_factory, timeout=timeout)
+        return _collect_result(runtime, transport)
+    finally:
+        # Detach the verification pool from the (possibly caller-owned)
+        # setup's cache; the worker processes themselves stay warm for
+        # the next run.
+        runtime.shutdown_workers()
 
 
 __all__ = [

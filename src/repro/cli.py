@@ -131,6 +131,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             measure_bytes=True,
             batching=not args.no_batching,
             timeout=args.timeout,
+            workers=args.workers,
         )
     except TimeoutError:
         print(
@@ -153,8 +154,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         stats.print_stats(20)
         print(buffer.getvalue())
     summary = result.metrics_summary
+    pool = summary.get("counters", {}).get("pool", {})
+    plane = (
+        f"pool ({pool.get('tasks', 0):,} tasks / {pool.get('batches', 0):,} batches)"
+        if pool
+        else "inline"
+    )
     print(f"n={result.n} f={result.f} seed={args.seed} transport={result.transport}")
     print(f"agreed:        {result.agreed}")
+    print(f"crypto plane:  {plane}")
     print(f"contributors:  {sorted(result.transcript.contributors)}")
     print(f"words sent:    {result.words_total:,}")
     print(f"messages sent: {result.messages_total:,}")
@@ -321,6 +329,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-batching",
         action="store_true",
         help="disable the coalesced message plane (per-envelope reference plane)",
+    )
+    run_p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="verify over N pool processes with speculative pre-verification "
+        "(0 = inline; default: the REPRO_WORKERS environment variable)",
     )
     run_p.add_argument(
         "--crash",

@@ -124,6 +124,11 @@ class BilinearGroup:
         self.pair_calls += 1
         return GroupElement(KIND_GT, acc)
 
+    def multi(self, pairs: Any) -> GroupElement:
+        """Alias for :meth:`multi_pair` — the batched-verifier entry point
+        the process-pool aggregation path (:mod:`repro.crypto.pool`) uses."""
+        return self.multi_pair(pairs)
+
     def prod(self, elements: Any) -> GroupElement:
         """Product of a non-empty iterable of same-kind elements."""
         result = None

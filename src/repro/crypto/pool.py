@@ -1,0 +1,410 @@
+"""Process-pool verification plane behind :class:`VerifyCache`.
+
+Every verification the repo memoizes is a *pure function of bytes*: the
+verdict depends only on the canonical :mod:`repro.net.codec` encoding of
+the checked value (plus context parts) and on the public directory.
+That purity is what makes it safe to compute verdicts in a different
+process: a worker receives ``(domain, codec-encoded parts, directory
+fingerprint)``, rebuilds an equivalent :class:`PublicDirectory` from the
+shipped spec (:func:`repro.crypto.keys.rebuild_directory`), decodes the
+parts, and runs the *registered byte-level equivalent* of the inline
+check.  No live objects cross the process boundary — only bytes out and
+a bool (or ``None`` = "could not decide, compute inline") back — so a
+Byzantine input can at worst cost the worker a wasted decode; it can
+never smuggle state into the main process.
+
+Three layers use this module:
+
+1. **Demand dispatch** — :meth:`VerifyCache.memoize` consults an
+   attached :class:`PoolVerifier` on a miss for domains registered with
+   ``demand=True`` (the heavyweight PVSS checks).  The verdict is
+   memoized exactly as an inline verdict would be.
+2. **Speculative pre-verification** — the transports submit every
+   verifiable payload of a just-arrived coalesced frame *before* the
+   protocol state machine activates (:meth:`VerifyCache.speculate`), so
+   the protocol's own check is usually a cache hit.
+3. **RLC multi-pairing aggregation** — domains whose check is a single
+   GT-equation ``lhs == Π e(a_i, b_i)`` register an *aggregate builder*;
+   a worker folds every such task in a batch into one random-linear-
+   combination product settled by a single ``pairing.multi()`` call,
+   falling back per-task only when the combined check fails.
+
+Verdict equivalence with the inline plane is structural, not assumed:
+each registered worker function replicates the inline pre-checks and
+equations against byte-equal decoded inputs, and the differential tests
+(``tests/crypto/test_pool.py``) pin pool ≡ inline on valid and
+Byzantine-mutated inputs for every registered domain.  A worker failure
+of any kind degrades to inline computation — the pool can only ever be
+an accelerator, never an oracle of last resort.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import random
+import threading
+from collections import Counter
+from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.crypto.hashing import hash_bytes
+from repro.crypto.pairing import KIND_GT
+
+__all__ = [
+    "PoolVerifier",
+    "register_worker",
+    "registered_domains",
+    "demand_domains",
+]
+
+#: A worker-side verifier: byte-decoded ``parts`` in, verdict out.  Must
+#: replicate the inline check exactly (pre-checks included); exceptions
+#: are caught by the worker loop and reported as "undecided".
+WorkerFn = Callable[[Any, tuple], bool]
+
+#: An aggregate builder: returns ``(lhs, pairs)`` asserting the claim
+#: ``lhs == Π e(a_i, b_i)`` in GT, or ``None`` when the task is not in
+#: aggregatable shape (failed pre-checks, malformed value).
+AggregateFn = Callable[[Any, tuple], Optional[tuple]]
+
+
+@dataclass(frozen=True)
+class _WorkerSpec:
+    fn: WorkerFn
+    aggregate: Optional[AggregateFn]
+    demand: bool
+
+
+_WORKER_VERIFIERS: dict[str, _WorkerSpec] = {}
+
+
+def register_worker(
+    domain: str,
+    fn: WorkerFn,
+    *,
+    aggregate: Optional[AggregateFn] = None,
+    demand: bool = False,
+) -> None:
+    """Register ``domain``'s byte-level verifier for pool dispatch.
+
+    ``demand=True`` additionally opts the domain into blocking dispatch
+    on a cache miss — worth it only when the inline check costs well
+    above one process round-trip (the PVSS checks); light single-pairing
+    domains stay inline on demand and ride the speculative path instead.
+    """
+    _WORKER_VERIFIERS[domain] = _WorkerSpec(fn=fn, aggregate=aggregate, demand=demand)
+
+
+def registered_domains() -> tuple[str, ...]:
+    _ensure_registrations()
+    return tuple(sorted(_WORKER_VERIFIERS))
+
+
+def demand_domains() -> tuple[str, ...]:
+    _ensure_registrations()
+    return tuple(sorted(d for d, s in _WORKER_VERIFIERS.items() if s.demand))
+
+
+def _ensure_registrations() -> None:
+    """Import every module that registers a worker verifier.
+
+    Workers created by a ``fork`` context inherit the parent's registry;
+    a ``spawn`` context (or a bare test process) starts from an empty
+    module and needs the imports to run.
+    """
+    import repro.core.certificates  # noqa: F401
+    import repro.crypto.kzg  # noqa: F401
+    import repro.crypto.pvss  # noqa: F401
+    import repro.crypto.threshold_sig  # noqa: F401
+    import repro.crypto.threshold_vrf  # noqa: F401
+
+
+# -- worker side ---------------------------------------------------------------------
+
+#: Directory rebuilt per spec blob, cached per worker process (bounded:
+#: a long-lived worker serving many runs keeps only the recent specs).
+_WORKER_DIRECTORIES: dict[bytes, Any] = {}
+
+
+def _worker_directory(spec_blob: bytes) -> Any:
+    directory = _WORKER_DIRECTORIES.get(spec_blob)
+    if directory is None:
+        from repro.crypto import keys
+        from repro.net import codec
+
+        directory = keys.rebuild_directory(codec.decode(spec_blob))
+        if len(_WORKER_DIRECTORIES) >= 8:
+            _WORKER_DIRECTORIES.clear()
+        _WORKER_DIRECTORIES[spec_blob] = directory
+    return directory
+
+
+def _warm() -> bool:
+    """No-op task submitted at executor creation to force worker forks
+    before the caller opens sockets or starts an event loop."""
+    return True
+
+
+def _pool_worker(
+    spec_blob: bytes, tasks: list[tuple[str, tuple[bytes, ...]]]
+) -> list[Optional[bool]]:
+    """Verify a batch of ``(domain, per-part codec blobs)`` tasks.
+
+    Returns one slot per task: ``True``/``False`` is a decided verdict
+    (byte-equivalent to the inline check), ``None`` means "could not
+    decide here" and the caller must compute inline.  Aggregatable tasks
+    are first folded into one RLC multi-pairing product; only a failing
+    product (at least one bad item, probability ≤ 2^-128 otherwise)
+    pays for per-task rechecks.
+    """
+    results: list[Optional[bool]] = [None] * len(tasks)
+    _ensure_registrations()
+    try:
+        directory = _worker_directory(spec_blob)
+    except Exception:
+        return results
+    from repro.net import codec
+
+    decoded = []
+    for index, (domain, blobs) in enumerate(tasks):
+        spec = _WORKER_VERIFIERS.get(domain)
+        if spec is None:
+            continue
+        try:
+            parts = tuple(codec.decode(blob) for blob in blobs)
+        except Exception:
+            continue
+        decoded.append((index, blobs, parts, spec))
+
+    aggregatable = []
+    for item in decoded:
+        _index, _blobs, parts, spec = item
+        if spec.aggregate is None:
+            continue
+        try:
+            claim = spec.aggregate(directory, parts)
+        except Exception:
+            claim = None
+        if claim is not None:
+            aggregatable.append((item, claim))
+    if len(aggregatable) >= 2:
+        try:
+            if _check_aggregate(directory, aggregatable):
+                for item, _claim in aggregatable:
+                    results[item[0]] = True
+        except Exception:
+            pass  # fall through to per-task checks
+
+    for item in decoded:
+        index, _blobs, parts, spec = item
+        if results[index] is not None:
+            continue
+        try:
+            results[index] = bool(spec.fn(directory, parts))
+        except Exception:
+            results[index] = None
+    return results
+
+
+def _check_aggregate(directory: Any, aggregatable: list) -> bool:
+    """One RLC product over every claim ``lhs_i == Π e(a_ij, b_ij)``.
+
+    With independent 128-bit weights ``r_i``, ``Π lhs_i^{r_i} ==
+    multi(Π e(a_ij^{r_i}, b_ij))`` accepts a batch containing a false
+    claim with probability ≤ 2^-128 — the standard batch-verification
+    argument, exact in the generic-group simulation.  Weights are
+    Fiat-Shamir-derived from the task bytes so the check stays
+    deterministic per batch content.
+    """
+    group = directory.pair_group
+    seed = hash_bytes(
+        "pool-rlc",
+        directory.session,
+        tuple(item[1] for item, _claim in aggregatable),
+    )
+    rng = random.Random(seed)
+    lhs_acc = group.identity(KIND_GT)
+    weighted_pairs = []
+    for _item, (lhs, pairs) in aggregatable:
+        weight = rng.randrange(1, 1 << 128)
+        lhs_acc = group.mul(lhs_acc, group.exp(lhs, weight))
+        for a, b in pairs:
+            weighted_pairs.append((group.exp(a, weight), b))
+    return group.multi(weighted_pairs) == lhs_acc
+
+
+# -- shared executor -----------------------------------------------------------------
+
+_EXECUTOR: Optional[ProcessPoolExecutor] = None
+_EXECUTOR_SIZE = 0
+_EXECUTOR_LOCK = threading.Lock()
+
+
+def _get_executor(workers: int) -> ProcessPoolExecutor:
+    """The process-wide executor, grown (never shrunk) to ``workers``.
+
+    Shared across :class:`PoolVerifier` instances so repeated in-process
+    runs (test suites, benchmarks) pay the fork cost once.  Created with
+    the ``fork`` start method where available and warmed with no-op
+    tasks so forks happen before the caller opens sockets.
+    """
+    global _EXECUTOR, _EXECUTOR_SIZE
+    with _EXECUTOR_LOCK:
+        if _EXECUTOR is None or _EXECUTOR_SIZE < workers:
+            if _EXECUTOR is not None:
+                _EXECUTOR.shutdown(wait=False, cancel_futures=True)
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:
+                context = multiprocessing.get_context()
+            _EXECUTOR = ProcessPoolExecutor(max_workers=workers, mp_context=context)
+            _EXECUTOR_SIZE = workers
+            for _ in range(workers):
+                _EXECUTOR.submit(_warm)
+        return _EXECUTOR
+
+
+def _discard_executor() -> None:
+    """Drop the shared executor (broken pool); the next use recreates it."""
+    global _EXECUTOR, _EXECUTOR_SIZE
+    with _EXECUTOR_LOCK:
+        if _EXECUTOR is not None:
+            _EXECUTOR.shutdown(wait=False, cancel_futures=True)
+        _EXECUTOR = None
+        _EXECUTOR_SIZE = 0
+
+
+def shutdown_executor() -> None:
+    """Tear down the shared executor (test isolation / interpreter exit)."""
+    _discard_executor()
+
+
+# -- caller side ---------------------------------------------------------------------
+
+
+class PoolVerifier:
+    """Dispatches byte-level verification tasks to the worker pool.
+
+    One instance per transport/run, bound to one directory: the
+    directory spec is encoded once at construction and shipped with
+    every batch (workers cache the rebuild per spec).  All failure modes
+    — unencodable parts, worker exceptions, a crashed worker process —
+    surface as ``None`` verdicts; after a pool-level breakage the
+    instance marks itself ``broken`` and every subsequent call no-ops so
+    the run continues inline without further dispatch attempts.
+    """
+
+    __slots__ = (
+        "workers",
+        "directory",
+        "fingerprint",
+        "stats",
+        "broken",
+        "_spec_blob",
+        "_lock",
+    )
+
+    def __init__(self, workers: int, directory: Any) -> None:
+        if workers < 1:
+            raise ValueError("PoolVerifier needs at least one worker")
+        from repro.crypto import keys
+        from repro.net import codec
+
+        self.workers = workers
+        self.directory = directory
+        self._spec_blob = codec.encode(keys.directory_spec(directory))
+        self.fingerprint = hashlib.sha256(self._spec_blob).hexdigest()[:16]
+        self.stats: Counter = Counter()
+        self.broken = False
+        self._lock = threading.Lock()
+        _ensure_registrations()
+        _get_executor(workers)  # pre-fork before sockets / event loops exist
+
+    def can_verify(self, domain: str) -> bool:
+        return not self.broken and domain in _WORKER_VERIFIERS
+
+    def demands(self, domain: str) -> bool:
+        """Should a cache miss in ``domain`` block on pool dispatch?"""
+        if self.broken:
+            return False
+        spec = _WORKER_VERIFIERS.get(domain)
+        return spec is not None and spec.demand
+
+    def encode_parts(self, domain: str, parts: tuple) -> Optional[tuple[bytes, ...]]:
+        """``parts`` as per-part codec blobs, or ``None`` if not dispatchable.
+
+        Per-part (rather than one tuple blob) so the canonical bytes the
+        cache already produced for content hashing are reused verbatim
+        (:func:`repro.crypto.verify_cache.content_encoding`) — values are
+        encoded once per object, not once per dispatch.
+        """
+        if not self.can_verify(domain):
+            return None
+        from repro.crypto.verify_cache import content_encoding
+
+        blobs = []
+        for part in parts:
+            blob = content_encoding(part)
+            if blob is None:
+                return None
+            blobs.append(blob)
+        return tuple(blobs)
+
+    def submit(self, tasks: list[tuple[str, tuple[bytes, ...]]]) -> Optional[Future]:
+        """Submit one worker batch; ``None`` when dispatch is impossible."""
+        if self.broken or not tasks:
+            return None
+        try:
+            executor = _get_executor(self.workers)
+            future = executor.submit(_pool_worker, self._spec_blob, list(tasks))
+        except Exception:
+            self._mark_broken()
+            return None
+        with self._lock:
+            self.stats["batches"] += 1
+            self.stats["tasks"] += len(tasks)
+        return future
+
+    def verify(self, domain: str, parts: tuple) -> Optional[bool]:
+        """Blocking single-task dispatch (the demand path)."""
+        blobs = self.encode_parts(domain, parts)
+        if blobs is None:
+            return None
+        future = self.submit([(domain, blobs)])
+        if future is None:
+            return None
+        return self.result_at(future, 0)
+
+    def result_at(self, future: Future, index: int) -> Optional[bool]:
+        """Await one task's verdict; ``None`` degrades to inline compute."""
+        try:
+            results = future.result()
+        except Exception:
+            self._mark_broken()
+            return None
+        if results is None or not 0 <= index < len(results):
+            return None
+        verdict = results[index]
+        if verdict is None:
+            with self._lock:
+                self.stats["worker_failures"] += 1
+            return None
+        return bool(verdict)
+
+    def counters(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self.stats)
+
+    def close(self) -> None:
+        """Detach from the shared executor (which stays warm for reuse)."""
+        self.broken = True
+
+    def _mark_broken(self) -> None:
+        with self._lock:
+            if self.broken:
+                return
+            self.broken = True
+            self.stats["broken"] += 1
+        _discard_executor()

@@ -48,6 +48,7 @@ class AsyncioRuntime(RealtimeTransport):
         seed: int = 0,
         measure_bytes: bool = False,
         batching: bool = True,
+        workers: int = 0,
     ) -> None:
         super().__init__(
             setup,
@@ -56,6 +57,7 @@ class AsyncioRuntime(RealtimeTransport):
             rng_namespace="asyncio-runtime",
             measure_bytes=measure_bytes,
             batching=batching,
+            workers=workers,
         )
         self.max_delay = max_delay
         self._delay_rng = random.Random(f"asyncio-runtime-net-{seed}")
@@ -68,6 +70,8 @@ class AsyncioRuntime(RealtimeTransport):
 
     async def _deliver_later(self, envelope: Envelope) -> None:
         await asyncio.sleep(self._delay_rng.uniform(0.0, self.max_delay))
+        if self.pool is not None:
+            self._preverify_batch((envelope,))
         self._deliver_envelope(envelope)
 
     def _transmit_coalesced(self, batch: list) -> None:
@@ -93,6 +97,8 @@ class AsyncioRuntime(RealtimeTransport):
 
     async def _deliver_batch_later(self, envelopes: list[Envelope]) -> None:
         await asyncio.sleep(self._delay_rng.uniform(0.0, self.max_delay))
+        if self.pool is not None:
+            self._preverify_batch(envelopes)
         for envelope in envelopes:
             self._deliver_buffered(envelope)
         self._flush_coalesced()

@@ -72,6 +72,7 @@ class Simulation(Transport):
         seed: int = 0,
         measure_bytes: bool = False,
         batching: bool = True,
+        workers: int = 0,
     ) -> None:
         super().__init__(
             setup,
@@ -80,6 +81,7 @@ class Simulation(Transport):
             rng_namespace="simulation",
             measure_bytes=measure_bytes,
             batching=batching,
+            workers=workers,
         )
         self.delay_model = delay_model or UniformDelay()
         self.scheduler = scheduler or Scheduler()
@@ -145,6 +147,11 @@ class Simulation(Transport):
             if type(entry) is not list:
                 return entry
             ready.extend(entry)
+            # A coalesced batch arrives at its recipients as one event:
+            # pre-verify the whole batch before the first state machine
+            # activates so workers overlap the deliveries (DESIGN §10).
+            if self.pool is not None:
+                self._preverify_batch(entry)
         return ready.popleft()
 
     def run(

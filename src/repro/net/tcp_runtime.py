@@ -74,6 +74,7 @@ class TCPRuntime(RealtimeTransport):
         measure_bytes: bool = True,
         batching: bool = True,
         send_queue_cap: int = 1024,
+        workers: int = 0,
     ) -> None:
         # ``measure_bytes`` exists for call-site uniformity with the other
         # transports, but TCP always meters (the byte counts are the bytes
@@ -93,6 +94,7 @@ class TCPRuntime(RealtimeTransport):
             rng_namespace="tcp-runtime",
             measure_bytes=True,
             batching=batching,
+            workers=workers,
         )
         self.host = host
         self.ports: dict[int, int] = {}
@@ -262,6 +264,7 @@ class TCPRuntime(RealtimeTransport):
                 except codec.CodecError:
                     self.rejected_frames += 1
                     continue
+                valid: list[Envelope] = []
                 for envelope in envelopes:
                     if (
                         envelope.recipient != party
@@ -270,6 +273,12 @@ class TCPRuntime(RealtimeTransport):
                     ):
                         self.rejected_frames += 1
                         continue
+                    valid.append(envelope)
+                # Pre-verify the whole frame before any state machine
+                # activates, so deliveries overlap the pool workers.
+                if self.pool is not None and valid:
+                    self._preverify_batch(valid)
+                for envelope in valid:
                     self._deliver_buffered(envelope)
                 # One flush for the whole frame: the activations it
                 # triggered coalesce into shared outgoing frames.

@@ -1,0 +1,309 @@
+"""The process-pool verification plane: pool ≡ inline, crash fallback.
+
+The load-bearing property is verdict equivalence: for every registered
+domain, a worker process fed the codec-encoded parts must return exactly
+the verdict the inline check computes — on valid inputs AND on
+Byzantine-mutated ones (a flipped transcript byte, a wrong signer index,
+a proof replayed under a different context).  The pool may only move
+*where* a verdict is computed, never *what* it is.
+
+The second property is graceful degradation: any pool failure — a
+crashed worker, a broken executor — falls back to inline computation
+without changing the run's outcome.
+"""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro import run_adkg
+from repro.core import certificates as certs
+from repro.crypto import kzg, pool, pvss, threshold_sig as tsig, threshold_vrf as tvrf
+from repro.crypto.keys import TrustedSetup
+
+N = 4
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return TrustedSetup.generate(N, seed=11)
+
+
+@pytest.fixture(scope="module")
+def transcript(setup):
+    rng = random.Random(42)
+    contributions = [
+        pvss.deal(setup.directory, setup.secret(i), rng) for i in range(N)
+    ]
+    return pvss.aggregate(setup.directory, contributions)
+
+
+@pytest.fixture(scope="module")
+def verifier(setup):
+    pv = pool.PoolVerifier(2, setup.directory)
+    yield pv
+    pv.close()
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _teardown_executor():
+    yield
+    pool.shutdown_executor()
+
+
+def _flip_group_element(directory, element):
+    """A different, still-valid group element (a 'flipped byte' after decode)."""
+    group = directory.pair_group
+    unit = group.pair(group.g, group.g) if element.kind == "GT" else group.g
+    return group.mul(element, unit)
+
+
+def _cases(setup, transcript):
+    """(domain, parts, inline verdict) triples covering every registered
+    domain with valid and Byzantine-mutated inputs."""
+    directory = setup.directory
+    rng = random.Random(7)
+
+    contribution = pvss.deal(directory, setup.secret(0), rng)
+    # Flipped byte: one cipher share moved off the committed polynomial.
+    bad_contribution = dataclasses.replace(
+        contribution,
+        cipher_shares=(
+            _flip_group_element(directory, contribution.cipher_shares[0]),
+            *contribution.cipher_shares[1:],
+        ),
+    )
+    bad_transcript = dataclasses.replace(
+        transcript,
+        cipher_shares=(
+            _flip_group_element(directory, transcript.cipher_shares[0]),
+            *transcript.cipher_shares[1:],
+        ),
+    )
+
+    message = ("beacon", 3)
+    share = tsig.sign_share(directory, setup.secret(1), transcript, message)
+    # Wrong signer index: party 2 claiming party 1's share value.
+    misattributed = dataclasses.replace(share, party=2)
+    shares = tuple(
+        tsig.sign_share(directory, setup.secret(i), transcript, message)
+        for i in range(N)
+    )
+    signature = tsig.combine(directory, transcript, message, shares)
+
+    evalsh = tvrf.EvalSh(directory, setup.secret(2), transcript, message)
+
+    vote = certs.make_vote(directory, setup.secret(0), certs.KIND_ECHO, "v", 1)
+    digest = certs.value_digest("v")
+    other_digest = certs.value_digest("other-value")
+    quorum_votes = tuple(
+        certs.make_vote(directory, setup.secret(i), certs.KIND_ECHO, "v", 1)
+        for i in range(directory.quorum)
+    )
+
+    return [
+        ("pvss-contrib", (contribution,), True),
+        ("pvss-contrib", (bad_contribution,), False),
+        ("pvss-transcript", (transcript, 2 * directory.f + 1), True),
+        # Byzantine: a transcript with one mutated cipher share.
+        ("pvss-transcript", (bad_transcript, 2 * directory.f + 1), False),
+        # Byzantine: honest transcript, inflated contributor floor.
+        ("pvss-transcript", (transcript, directory.n + 1), False),
+        ("tsig-share", (share, message, transcript), True),
+        # Byzantine: valid share value, wrong signer index.
+        ("tsig-share", (misattributed, message, transcript), False),
+        # Byzantine: valid share replayed under a different message.
+        ("tsig-share", (share, ("beacon", 4), transcript), False),
+        ("tsig-batch", (shares, message, transcript), True),
+        ("tsig-batch", ((misattributed, *shares[2:]), message, transcript), False),
+        ("tsig-verify", (signature, message, transcript), True),
+        ("tsig-verify", (signature, ("beacon", 4), transcript), False),
+        ("tvrf-evalsh", (evalsh, message, transcript), True),
+        ("tvrf-evalsh", (dataclasses.replace(evalsh, party=0), message, transcript), False),
+        ("cert-vote", (vote, certs.KIND_ECHO, digest, 1), True),
+        # Byzantine: vote replayed under a different view / kind / value.
+        ("cert-vote", (vote, certs.KIND_ECHO, digest, 2), False),
+        ("cert-vote", (vote, certs.KIND_KEY, digest, 1), False),
+        ("cert-vote", (vote, certs.KIND_ECHO, other_digest, 1), False),
+        ("cert", (quorum_votes, certs.KIND_ECHO, digest, 1), True),
+        ("cert", (quorum_votes[:-1], certs.KIND_ECHO, digest, 1), False),
+        ("cert", (quorum_votes, certs.KIND_ECHO, digest, 2), False),
+    ]
+
+
+def _kzg_cases(directory):
+    # The registered worker verifies in the directory's pairing group, so
+    # the setup under test must live in that same group.
+    kset = kzg.KZGSetup.from_seed(directory.pair_group, 4, "test-pool")
+    values = [5, 9, 2, 7]
+    commitment = kset.commit(values)
+    opening = kset.open_at(values, 1)
+    return [
+        ("kzg-open", (commitment, 1, values[1], opening, kset.tau_point), True),
+        # Byzantine: proof replayed at a different index / claimed value.
+        ("kzg-open", (commitment, 2, values[1], opening, kset.tau_point), False),
+        ("kzg-open", (commitment, 1, values[1] + 1, opening, kset.tau_point), False),
+    ]
+
+
+def test_every_registered_domain_is_exercised(setup, transcript):
+    covered = {domain for domain, _parts, _v in _cases(setup, transcript)}
+    covered |= {domain for domain, _parts, _v in _kzg_cases(setup.directory)}
+    assert covered == set(pool.registered_domains())
+
+
+def test_pool_matches_inline_on_valid_and_byzantine_inputs(
+    setup, transcript, verifier
+):
+    """Differential: worker verdict == inline verdict, case by case."""
+    for domain, parts, expected in _cases(setup, transcript) + _kzg_cases(
+        setup.directory
+    ):
+        inline = pool._WORKER_VERIFIERS[domain].fn(setup.directory, parts)
+        assert inline == expected, (domain, expected)
+        pooled = verifier.verify(domain, parts)
+        assert pooled == expected, (domain, expected, pooled)
+
+
+def test_pool_batch_dispatch_matches_inline(setup, transcript, verifier):
+    """One mixed batch through a single worker call (exercises the RLC
+    aggregate path: ≥2 aggregatable claims fold into one multi-pairing,
+    and the failing items fall back to per-task rechecks)."""
+    cases = _cases(setup, transcript) + _kzg_cases(setup.directory)
+    tasks = []
+    expected = []
+    for domain, parts, verdict in cases:
+        blobs = verifier.encode_parts(domain, parts)
+        assert blobs is not None, domain
+        tasks.append((domain, blobs))
+        expected.append(verdict)
+    future = verifier.submit(tasks)
+    assert future is not None
+    got = [verifier.result_at(future, i) for i in range(len(tasks))]
+    assert got == expected
+
+
+def test_rlc_aggregate_accepts_valid_batches(setup, transcript):
+    """The worker-side RLC fold: all-valid aggregatable claims settle as
+    one multi-pairing product."""
+    directory = setup.directory
+    message = ("agg", 1)
+    shares = [
+        tsig.sign_share(directory, setup.secret(i), transcript, message)
+        for i in range(N)
+    ]
+    decoded = [
+        (i, (), (share, message, transcript), pool._WORKER_VERIFIERS["tsig-share"])
+        for i, share in enumerate(shares)
+    ]
+    aggregatable = [
+        (item, item[3].aggregate(directory, item[2])) for item in decoded
+    ]
+    assert all(claim is not None for _item, claim in aggregatable)
+    assert pool._check_aggregate(directory, aggregatable)
+    # One forged share value must fail the whole fold.
+    forged = dataclasses.replace(
+        shares[0], value=_flip_group_element(directory, shares[0].value)
+    )
+    bad = list(aggregatable)
+    bad[0] = (
+        decoded[0],
+        pool._WORKER_VERIFIERS["tsig-share"].aggregate(
+            directory, (forged, message, transcript)
+        ),
+    )
+    assert not pool._check_aggregate(directory, bad)
+
+
+def test_speculation_matches_inline_counters(setup, transcript):
+    """Speculative pre-verification serves the later memoize without
+    changing its verdict or its miss accounting."""
+    fresh = TrustedSetup.generate(N, seed=23)
+    directory = fresh.directory
+    pv = pool.PoolVerifier(2, directory)
+    directory.verify_cache.attach_pool(pv)
+    try:
+        rng = random.Random(5)
+        contribution = pvss.deal(directory, fresh.secret(0), rng)
+        submitted = directory.verify_cache.speculate(
+            [("pvss-contrib", (contribution,))]
+        )
+        assert submitted == 1
+        assert pvss.verify_contribution(directory, contribution)
+        snap = directory.verify_cache.snapshot()
+        assert snap["pvss-contrib.misses"] == 1  # counted before consumption
+        assert snap["pvss-contrib.speculative"] == 1
+        assert snap["pvss-contrib.speculative_hits"] == 1
+    finally:
+        directory.verify_cache.detach_pool()
+        pv.close()
+
+
+def test_worker_crash_falls_back_inline(setup, transcript):
+    """A broken pool degrades every path to inline computation."""
+    fresh = TrustedSetup.generate(N, seed=29)
+    directory = fresh.directory
+    pv = pool.PoolVerifier(2, directory)
+    directory.verify_cache.attach_pool(pv)
+    try:
+        pv._mark_broken()  # as after a BrokenProcessPool
+        assert pv.verify("pvss-contrib", (transcript,)) is None
+        assert pv.submit([("pvss-contrib", (b"x",))]) is None
+        assert directory.verify_cache.speculate([("pvss-contrib", (transcript,))]) == 0
+        rng = random.Random(5)
+        contribution = pvss.deal(directory, fresh.secret(0), rng)
+        assert pvss.verify_contribution(directory, contribution)
+        snap = directory.verify_cache.snapshot()
+        assert snap.get("pvss-contrib.offloaded", 0) == 0
+        assert snap["pvss-contrib.misses"] == 1
+    finally:
+        directory.verify_cache.detach_pool()
+        pv.close()
+
+
+def test_worker_crash_mid_run_keeps_outcome(monkeypatch):
+    """Kill the pool under a live run: the run completes inline with the
+    same agreement, words and bytes as the never-pooled reference."""
+    reference = run_adkg(n=N, seed=3, measure_bytes=True)
+
+    original_submit = pool.PoolVerifier.submit
+    state = {"count": 0}
+
+    def flaky_submit(self, tasks):
+        state["count"] += 1
+        if state["count"] == 3:
+            self._mark_broken()  # simulates BrokenProcessPool on submit
+            return None
+        return original_submit(self, tasks)
+
+    monkeypatch.setattr(pool.PoolVerifier, "submit", flaky_submit)
+    crashed = run_adkg(n=N, seed=3, measure_bytes=True, workers=2)
+    assert state["count"] >= 3
+    assert crashed.agreed and reference.agreed
+    assert crashed.outputs == reference.outputs
+    assert crashed.words_total == reference.words_total
+    assert crashed.bytes_total == reference.bytes_total
+    assert crashed.messages_total == reference.messages_total
+
+
+def _work_counters(result):
+    verify = result.metrics_summary["counters"]["verify"]
+    return {k: v for k, v in verify.items() if k.endswith(".misses")}
+
+
+def test_run_adkg_pool_equals_inline():
+    """End-to-end: workers=2 is byte-identical to workers=0 on every
+    protocol quantity and on the structural miss counters."""
+    inline = run_adkg(n=N, seed=1, measure_bytes=True, workers=0)
+    pooled = run_adkg(n=N, seed=1, measure_bytes=True, workers=2)
+    assert pooled.agreed and inline.agreed
+    assert pooled.outputs == inline.outputs
+    assert pooled.words_total == inline.words_total
+    assert pooled.bytes_total == inline.bytes_total
+    assert pooled.messages_total == inline.messages_total
+    assert pooled.rounds == inline.rounds
+    assert _work_counters(pooled) == _work_counters(inline)
+    pool_counters = pooled.metrics_summary["counters"]["pool"]
+    assert pool_counters.get("tasks", 0) > 0  # the pool actually ran
+    assert "pool" not in inline.metrics_summary["counters"]
