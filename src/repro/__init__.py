@@ -101,6 +101,7 @@ def run_adkg(
     timeout: float = 120.0,
     max_steps: Optional[int] = None,
     workers: Optional[int] = None,
+    chaos: Any = None,
 ) -> ADKGResult:
     """Run one A-DKG over the selected transport and return result + metrics.
 
@@ -128,6 +129,15 @@ def run_adkg(
     reads the ``REPRO_WORKERS`` environment variable (default 0).
     Verdicts, word/byte/message totals and agreement results are
     byte-identical across worker counts — only wall clock changes.
+
+    ``chaos`` attaches the link-fault plane (DESIGN §11): a
+    :class:`~repro.net.chaos.ChaosSpec`, a prebuilt
+    :class:`~repro.net.chaos.ChaosPlane`, or a spec string such as
+    ``"partition:0|1,2,3@2-20;drop:0.05"``.  Spec forms are seeded from
+    ``seed``, so a chaos run is exactly as reproducible as a clean one;
+    injected fault counts appear under ``metrics_summary["counters"]
+    ["chaos"]``.  Works on every transport (times are rounds on the
+    simulator, seconds on realtime transports).
     """
     if transport != "sim" and (
         to_quiescence
@@ -158,6 +168,8 @@ def run_adkg(
         workers = int(os.environ.get("REPRO_WORKERS", "0") or "0")
     if workers:
         transport_kwargs["workers"] = workers
+    if chaos is not None:
+        transport_kwargs["chaos"] = chaos
     runtime = make_transport(
         transport,
         setup,

@@ -1,4 +1,4 @@
-"""Runners for the experiment index E1-E14 (DESIGN.md section 6).
+"""Runners for the experiment index E1-E16 (DESIGN.md section 6).
 
 Each runner executes seeded simulations and returns plain row dicts that
 the benchmarks assert on and ``scripts/generate_experiments.py`` renders
@@ -6,8 +6,10 @@ into EXPERIMENTS.md.  All randomness is derived from explicit seeds.
 
 The index is contiguous: E1-E10 regenerate the paper's claims and
 ablations, E11 (transports) and E12 (hot-path counters) are covered by
-their benchmarks, E13 runs epoch pipelining, and E14 is the
-crash–recovery fault matrix over the durable storage layer.
+their benchmarks, E13 runs epoch pipelining, E14 is the crash–recovery
+fault matrix over the durable storage layer, E15 (rendered inline by the
+script) gates the parallel crypto plane, and E16 is the chaos matrix
+over the link-level fault plane (DESIGN §11).
 """
 
 from __future__ import annotations
@@ -585,6 +587,133 @@ def run_crash_recovery_matrix(
                     ),
                 }
             )
+    return rows
+
+
+# -- E16: chaos matrix (link-level fault plane + self-healing TCP) ------------------------
+
+
+def run_chaos_matrix(
+    n: int = 4,
+    seed: int = 1,
+    include_tcp: bool = True,
+) -> list[dict]:
+    """E16: agreement under partitions, lossy links and crash overlays.
+
+    Every chaos schedule preserves eventual delivery by construction
+    (DESIGN §11), so each cell is a *legal* asynchronous adversary and
+    the paper's safety/liveness claims must survive it.  The matrix
+    crosses partition-then-heal cuts (two-sided, regional and one-way)
+    with probabilistic link faults (loss, duplication, reordering,
+    byte corruption) and with E14's in-session crash/recover overlay,
+    on the simulator plus one real-socket TCP row (whose partition heals
+    in wall-clock seconds, exercising the reconnect machinery).
+
+    Two differential gates ride along: the ``clean`` row is re-run with
+    an attached-but-idle plane and must report byte-identical protocol
+    totals (chaos off ⇒ no trace), and the ``partition-heal`` row is
+    re-run with the same seed and spec and must reproduce its word and
+    byte totals and group key exactly (the plane consumes one seeded
+    stream in delivery order).  A gate failure raises rather than
+    returning a quietly wrong table.
+    """
+    from repro import run_adkg
+    from repro.net.adversary import CrashRecoverBehavior
+    from repro.net.chaos import ChaosSpec
+
+    f = (n - 1) // 3
+    others = ",".join(str(i) for i in range(1, n))
+    lower = ",".join(str(i) for i in range(n // 2))
+    upper = ",".join(str(i) for i in range(n // 2, n))
+    crashers = lambda: {  # noqa: E731 — fresh stateful behaviors per run
+        n - 1: CrashRecoverBehavior(after_sends=10, recover_after_drops=5)
+    }
+    cases: list[tuple[str, Any, Any]] = [
+        ("clean", None, None),
+        ("partition-heal", f"partition:0|{others}@2-20", None),
+        ("regional-split", f"partition:{lower}|{upper}@2-15", None),
+        ("oneway-cut", f"partition-oneway:0|{others}@1-15", None),
+        ("lossy-link", "drop:0.08;reorder:0.1", None),
+        ("dup+corrupt", "dup:0.05;corrupt:0.03", None),
+        ("partition+lossy", f"partition:0|{others}@2-12;drop:0.05", None),
+        ("lossy+crash-recover", "drop:0.05;reorder:0.05", crashers),
+    ]
+    rows = []
+    for name, spec, behaviors in cases:
+        result = run_adkg(
+            n=n,
+            seed=seed,
+            measure_bytes=True,
+            chaos=spec,
+            behaviors=behaviors() if behaviors else None,
+        )
+        counts = result.metrics_summary["counters"].get("chaos", {})
+        rows.append(
+            {
+                "experiment": "E16",
+                "case": name,
+                "transport": "sim",
+                "n": n,
+                "agreement": result.agreed,
+                "words": result.words_total,
+                "bytes": result.bytes_total,
+                "faults_injected": sum(
+                    count
+                    for key, count in counts.items()
+                    if not key.startswith("corrupt_")  # verdicts, not faults
+                ),
+                "rounds": result.rounds,
+            }
+        )
+        if name == "clean":
+            idle = run_adkg(
+                n=n, seed=seed, measure_bytes=True, chaos=ChaosSpec()
+            )
+            if (idle.words_total, idle.bytes_total, idle.public_key) != (
+                result.words_total,
+                result.bytes_total,
+                result.public_key,
+            ):
+                raise RuntimeError(
+                    "E16 gate: an idle chaos plane changed protocol totals"
+                )
+        if name == "partition-heal":
+            again = run_adkg(n=n, seed=seed, measure_bytes=True, chaos=spec)
+            if (again.words_total, again.bytes_total, again.public_key) != (
+                result.words_total,
+                result.bytes_total,
+                result.public_key,
+            ):
+                raise RuntimeError(
+                    "E16 gate: same seed + same chaos spec did not reproduce"
+                )
+    if include_tcp:
+        tcp = run_adkg(
+            n=n,
+            seed=seed,
+            transport="tcp",
+            chaos=f"partition:{','.join(str(i) for i in range(max(1, f)))}"
+            f"|{','.join(str(i) for i in range(max(1, f), n))}@0-0.8",
+            timeout=60.0,
+        )
+        counts = tcp.metrics_summary["counters"].get("chaos", {})
+        rows.append(
+            {
+                "experiment": "E16",
+                "case": "partition-heal-f",
+                "transport": "tcp",
+                "n": n,
+                "agreement": tcp.agreed,
+                "words": tcp.words_total,
+                "bytes": tcp.bytes_total,
+                "faults_injected": sum(
+                    count
+                    for key, count in counts.items()
+                    if not key.startswith("corrupt_")
+                ),
+                "rounds": round(tcp.rounds, 2),
+            }
+        )
     return rows
 
 

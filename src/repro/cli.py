@@ -107,10 +107,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.recover and not args.crash:
         print("error: --recover requires --crash", file=sys.stderr)
         return 2
+    chaos = None
+    if args.chaos:
+        from repro.net.chaos import ChaosSpec
+
+        try:
+            chaos = ChaosSpec.parse(args.chaos)
+        except ValueError as exc:
+            print(f"error: --chaos: {exc}", file=sys.stderr)
+            return 2
     if args.crash:
-        if args.full or args.profile:
+        if args.full or args.profile or chaos is not None:
             print(
-                "error: --crash is incompatible with --full/--profile",
+                "error: --crash is incompatible with --full/--profile/--chaos",
                 file=sys.stderr,
             )
             return 2
@@ -132,6 +141,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             batching=not args.no_batching,
             timeout=args.timeout,
             workers=args.workers,
+            chaos=chaos,
         )
     except TimeoutError:
         print(
@@ -182,6 +192,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
             )
     else:
         print("wire frames:   unbatched (one per message)")
+    counters = summary.get("counters", {})
+    chaos_counts = counters.get("chaos", {})
+    if chaos_counts:
+        injected = ", ".join(
+            f"{name}={count:,}" for name, count in sorted(chaos_counts.items())
+        )
+        print(f"chaos faults:  {injected}")
+    tcp_counts = counters.get("tcp", {})
+    if tcp_counts:
+        health = ", ".join(
+            f"{name}={count:,}" for name, count in sorted(tcp_counts.items())
+        )
+        print(f"tcp health:    {health}")
     print(f"async rounds:  {result.rounds:.0f}")
     print(f"NWH views:     {result.views}")
     print(f"wall clock:    {elapsed:.2f}s")
@@ -337,6 +360,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="verify over N pool processes with speculative pre-verification "
         "(0 = inline; default: the REPRO_WORKERS environment variable)",
+    )
+    run_p.add_argument(
+        "--chaos",
+        metavar="SPEC",
+        help="link-fault plane spec, e.g. 'partition:0|1,2,3@2-20;drop:0.05' "
+        "(clauses: partition, partition-oneway, drop, dup, reorder, corrupt, "
+        "delay; times are rounds on sim, seconds on realtime transports)",
     )
     run_p.add_argument(
         "--crash",

@@ -9,7 +9,10 @@ socket transport (:mod:`repro.net.tcp_runtime`), which ships every message
 as :mod:`repro.net.codec` bytes.  The transport meters words, messages,
 bytes and causal rounds (:mod:`repro.net.metrics`), and the adversary
 controls both message scheduling and Byzantine party behaviour
-(:mod:`repro.net.adversary`).
+(:mod:`repro.net.adversary`).  A seeded link-fault plane
+(:mod:`repro.net.chaos`) injects partitions, loss, duplication,
+reordering, delay and corruption into the shared delivery pipeline on
+any transport.
 """
 
 from repro.net.payload import Payload, words_of
@@ -30,6 +33,13 @@ from repro.net.transport import (
     RealtimeTransport,
     make_transport,
     TRANSPORT_KINDS,
+)
+from repro.net.chaos import (
+    ChaosPlane,
+    ChaosSpec,
+    DelayWindow,
+    LinkFault,
+    Partition,
 )
 from repro.net.runtime import Simulation
 from repro.net.asyncio_runtime import AsyncioRuntime
@@ -62,6 +72,11 @@ __all__ = [
     "RealtimeTransport",
     "make_transport",
     "TRANSPORT_KINDS",
+    "ChaosPlane",
+    "ChaosSpec",
+    "DelayWindow",
+    "LinkFault",
+    "Partition",
     "Simulation",
     "AsyncioRuntime",
     "TCPRuntime",

@@ -67,8 +67,12 @@ class FaultSchedule:
     ) -> None:
         if crash_after_sends < 0:
             raise ValueError("crash_after_sends must be non-negative")
-        if recover_after_drops is not None and recover_after_drops < 1:
-            raise ValueError("recover_after_drops must be >= 1 (or None)")
+        if recover_after_drops is not None and recover_after_drops < 0:
+            # 0 is legal: the recovery lands on the same step as the
+            # crash, so the outage swallows no deliveries at all — the
+            # first delivery attempted while "down" finds the process
+            # already back up.
+            raise ValueError("recover_after_drops must be >= 0 (or None)")
         self.crash_after_sends = crash_after_sends
         self.recover_after_drops = recover_after_drops
         self.sent = 0

@@ -49,6 +49,7 @@ class AsyncioRuntime(RealtimeTransport):
         measure_bytes: bool = False,
         batching: bool = True,
         workers: int = 0,
+        chaos=None,
     ) -> None:
         super().__init__(
             setup,
@@ -58,6 +59,7 @@ class AsyncioRuntime(RealtimeTransport):
             measure_bytes=measure_bytes,
             batching=batching,
             workers=workers,
+            chaos=chaos,
         )
         self.max_delay = max_delay
         self._delay_rng = random.Random(f"asyncio-runtime-net-{seed}")

@@ -92,6 +92,8 @@ __all__ = [
     "encoded_size",
     "encoded_envelope_size",
     "encoded_batch_size",
+    "encode_heartbeat",
+    "is_heartbeat",
     "encode_stats",
 ]
 
@@ -102,6 +104,15 @@ __all__ = [
 BATCH_MAGIC = 0xB5
 #: Batch frame format version (second body byte).
 BATCH_VERSION = 0x01
+
+#: First body byte of a connection-liveness heartbeat frame (the TCP
+#: runtime's idle keepalive).  Like :data:`BATCH_MAGIC` it sits outside
+#: the codec tag space *and* differs from the batch magic, so the three
+#: frame formats — heartbeat, batch, legacy single envelope — are
+#: distinguishable from their first byte.
+HEARTBEAT_MAGIC = 0xE7
+#: Heartbeat frame format version (second body byte).
+HEARTBEAT_VERSION = 0x01
 
 #: Encode-once fan-out accounting: ``payload.calls`` counts every payload
 #: struct encoding request, ``payload.hits`` the ones served from the
@@ -886,6 +897,26 @@ def decode_batch(data: bytes) -> list:
     if pos != len(data):
         raise CodecError(f"{len(data) - pos} trailing bytes after batch")
     return envelopes
+
+
+def encode_heartbeat() -> bytes:
+    """The two-byte body of a connection-liveness heartbeat frame.
+
+    Heartbeats are *transport chatter*, not protocol traffic: they carry
+    no envelope, are never metered as protocol words/bytes/frames, and a
+    receiver identifies them with :func:`is_heartbeat` before attempting
+    :func:`decode_batch` (whose strict parser would reject them).
+    """
+    return bytes((HEARTBEAT_MAGIC, HEARTBEAT_VERSION))
+
+
+def is_heartbeat(body: bytes) -> bool:
+    """True iff a frame body is a well-formed heartbeat."""
+    return (
+        len(body) == 2
+        and body[0] == HEARTBEAT_MAGIC
+        and body[1] == HEARTBEAT_VERSION
+    )
 
 
 # -- built-in registrations ------------------------------------------------------------

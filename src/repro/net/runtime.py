@@ -73,6 +73,7 @@ class Simulation(Transport):
         measure_bytes: bool = False,
         batching: bool = True,
         workers: int = 0,
+        chaos: Any = None,
     ) -> None:
         super().__init__(
             setup,
@@ -82,6 +83,7 @@ class Simulation(Transport):
             measure_bytes=measure_bytes,
             batching=batching,
             workers=workers,
+            chaos=chaos,
         )
         self.delay_model = delay_model or UniformDelay()
         self.scheduler = scheduler or Scheduler()
@@ -282,6 +284,22 @@ class Simulation(Transport):
 
     def _note_progress(self, party: Party) -> None:
         self._note_progress_sessions(party)
+
+    # -- chaos hooks -------------------------------------------------------------------
+
+    def _chaos_now(self) -> float:
+        return self.time
+
+    def _chaos_requeue(self, envelope: Envelope, delay: float) -> None:
+        """Re-inject a chaos-held envelope at ``time + delay``.
+
+        Ordinary heap entry, ordinary tie-break: a held envelope competes
+        with in-flight traffic exactly like a freshly transmitted one,
+        so determinism is untouched.
+        """
+        heapq.heappush(
+            self._queue, (self.time + delay, next(self._seq), envelope)
+        )
 
     def _on_session_result(self, session: int, party: Party) -> None:
         """Stamp the simulated time of the party's first session output.

@@ -39,12 +39,32 @@ that the queue fills anyway, further frames are shed and counted in the
 ``tcp.backpressure`` metrics counter (honest runs never hit the cap —
 the drops model a long-lived deployment shedding load instead of
 growing without bound).
+
+Self-healing (DESIGN §11): each ordered pair is supervised by a
+:class:`_Link`.  Connection loss is detected three ways — the link's
+read side hits EOF (a dedicated watcher task), a frame write/drain
+fails, or an idle-timeout heartbeat frame
+(:func:`repro.net.codec.encode_heartbeat`) fails to go out — and is
+counted once per connection generation in ``tcp.conn_lost``.  The pump
+then reconnects with capped exponential backoff and deterministic
+per-link jitter (``tcp.reconnects``), retaining the in-flight frame
+across the outage and re-writing it on the new connection
+(``tcp.resent_frames``) — the same parked-traffic model the transport's
+``detach_party``/``reattach_party`` applies at the party level, here at
+the socket level: the bounded send queue simply survives the reconnect
+and drains onto the new socket.  Heartbeats are transport chatter, not
+protocol traffic: they are never metered as protocol words/bytes or
+wire frames, only counted (``tcp.heartbeats`` sent, ``heartbeats_seen``
+received).  A frame whose write raced a connection loss may be
+delivered twice (at-least-once delivery); that is exactly the chaos
+plane's ``duplicate`` link fault, which the protocols tolerate.
 """
 
 from __future__ import annotations
 
 import asyncio
-from typing import Optional
+import random
+from typing import Any, Optional
 
 from repro.crypto.keys import TrustedSetup
 from repro.net import codec
@@ -58,6 +78,41 @@ from repro.net.transport import (
 )
 
 __all__ = ["TCPRuntime", "RootFactory"]
+
+
+class _Link:
+    """One ordered pair's supervised, self-healing connection state.
+
+    The bounded frame queue and the pump task are *permanent*; the
+    socket behind them is replaceable.  ``generation`` increments on
+    every successful (re)connect so stale EOF watchers from a previous
+    socket cannot mis-count a loss of the current one; ``pending`` holds
+    the frame currently being written, retained across a write failure
+    and re-sent on the next connection.
+    """
+
+    __slots__ = (
+        "pair",
+        "queue",
+        "writer",
+        "pending",
+        "resend",
+        "generation",
+        "attempts",
+        "rng",
+    )
+
+    def __init__(
+        self, pair: tuple[int, int], queue: asyncio.Queue, rng: random.Random
+    ) -> None:
+        self.pair = pair
+        self.queue = queue
+        self.writer: Optional[asyncio.StreamWriter] = None
+        self.pending: Optional[bytes] = None
+        self.resend = False
+        self.generation = 0
+        self.attempts = 0
+        self.rng = rng
 
 
 class TCPRuntime(RealtimeTransport):
@@ -75,6 +130,10 @@ class TCPRuntime(RealtimeTransport):
         batching: bool = True,
         send_queue_cap: int = 1024,
         workers: int = 0,
+        chaos: Any = None,
+        heartbeat_interval: float = 1.0,
+        reconnect_base: float = 0.05,
+        reconnect_cap: float = 2.0,
     ) -> None:
         # ``measure_bytes`` exists for call-site uniformity with the other
         # transports, but TCP always meters (the byte counts are the bytes
@@ -87,6 +146,12 @@ class TCPRuntime(RealtimeTransport):
             )
         if send_queue_cap < 1:
             raise ValueError("send_queue_cap must be >= 1")
+        if heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive")
+        if reconnect_base <= 0 or reconnect_cap < reconnect_base:
+            raise ValueError(
+                "reconnect backoff needs 0 < reconnect_base <= reconnect_cap"
+            )
         super().__init__(
             setup,
             behaviors,
@@ -95,6 +160,7 @@ class TCPRuntime(RealtimeTransport):
             measure_bytes=True,
             batching=batching,
             workers=workers,
+            chaos=chaos,
         )
         self.host = host
         self.ports: dict[int, int] = {}
@@ -102,17 +168,48 @@ class TCPRuntime(RealtimeTransport):
         self.send_queue_cap = send_queue_cap
         #: Frames shed because a pair's bounded send queue was full.
         self.backpressure_drops = 0
+        #: Idle gap after which the pump writes a heartbeat frame — the
+        #: bound on how long a dead idle connection can stay undetected.
+        self.heartbeat_interval = heartbeat_interval
+        #: Capped exponential backoff between reconnect attempts:
+        #: ``min(cap, base * 2^attempt)``, jittered by a deterministic
+        #: per-link factor in [0.5, 1.5).
+        self.reconnect_base = reconnect_base
+        self.reconnect_cap = reconnect_cap
+        #: Connection losses detected (once per connection generation).
+        self.conn_lost = 0
+        #: Successful reconnects after a loss.
+        self.reconnects = 0
+        #: Heartbeat frames written (idle links) / read back by servers.
+        self.heartbeats_sent = 0
+        self.heartbeats_seen = 0
+        #: Data frames written again on a fresh connection after their
+        #: first write failed mid-frame.  Resends are *wire* traffic
+        #: only: the envelopes were metered as protocol sends exactly
+        #: once, at send time.
+        self.resent_frames = 0
+        self._closing = False
         self._servers: list[asyncio.AbstractServer] = []
-        self._writers: dict[tuple[int, int], asyncio.StreamWriter] = {}
-        self._send_queues: dict[tuple[int, int], asyncio.Queue] = {}
+        self._links: dict[tuple[int, int], _Link] = {}
+        body = codec.encode_heartbeat()
+        self._heartbeat_frame = (
+            len(body).to_bytes(FRAME_HEADER_BYTES, "big") + body
+        )
         self.metrics.attach_counters("tcp", self._tcp_counters)
 
     def _tcp_counters(self) -> dict:
         counters = {}
-        if self.backpressure_drops:
-            counters["backpressure"] = self.backpressure_drops
-        if self.rejected_frames:
-            counters["rejected_frames"] = self.rejected_frames
+        for key, value in (
+            ("backpressure", self.backpressure_drops),
+            ("rejected_frames", self.rejected_frames),
+            ("conn_lost", self.conn_lost),
+            ("reconnects", self.reconnects),
+            ("heartbeats", self.heartbeats_sent),
+            ("heartbeats_seen", self.heartbeats_seen),
+            ("resent_frames", self.resent_frames),
+        ):
+            if value:
+                counters[key] = value
         return counters
 
     # -- socket lifecycle --------------------------------------------------------------
@@ -130,43 +227,133 @@ class TCPRuntime(RealtimeTransport):
             for recipient in range(self.n):
                 if sender == recipient:
                     continue
-                _reader, writer = await asyncio.open_connection(
-                    self.host, self.ports[recipient]
-                )
                 pair = (sender, recipient)
-                self._writers[pair] = writer
                 # Bounded: _pump applies socket backpressure via drain();
                 # the cap sheds load if a peer stalls past it (counted in
                 # tcp.backpressure) instead of growing without bound.
-                queue: asyncio.Queue = asyncio.Queue(maxsize=self.send_queue_cap)
-                self._send_queues[pair] = queue
-                self._spawn(self._pump(queue, writer))
+                link = _Link(
+                    pair,
+                    asyncio.Queue(maxsize=self.send_queue_cap),
+                    random.Random(
+                        f"tcp-reconnect-{self.seed}-{sender}-{recipient}"
+                    ),
+                )
+                self._links[pair] = link
+                # The initial connect is strict (a refused connection
+                # aborts the open); only *re*connects go through backoff.
+                reader, writer = await asyncio.open_connection(
+                    self.host, self.ports[recipient]
+                )
+                link.writer = writer
+                self._spawn(self._watch_eof(link, reader, link.generation))
+                self._spawn(self._pump(link))
+
+    async def close(self) -> None:
+        # Raise the closing flag *before* the base class cancels the
+        # background tasks: a pump whose queued-frame future is already
+        # resolved when the cancel lands can have the CancelledError
+        # swallowed inside ``wait_for`` (the future-done race) — the
+        # cooperative check at the top of the pump loop is what
+        # guarantees it still exits.
+        self._closing = True
+        await super().close()
 
     async def _close(self) -> None:
-        for writer in self._writers.values():
-            writer.close()
+        self._closing = True
+        for link in self._links.values():
+            if link.writer is not None:
+                link.writer.close()
         for server in self._servers:
             server.close()
         await asyncio.gather(
             *(server.wait_closed() for server in self._servers),
             return_exceptions=True,
         )
-        self._writers.clear()
+        self._links.clear()
         self._servers.clear()
+
+    def kill_connection(self, sender: int, recipient: int) -> None:
+        """Kill one ordered link's current socket mid-run (test/chaos hook).
+
+        The close is orderly at the socket level (frames already handed
+        to the kernel still reach the peer, then FIN), so the injected
+        failure is a *connection* loss, not silent data loss — the
+        supervision machinery must detect it (EOF watcher or a failed
+        write), reconnect with backoff and re-inject the retained
+        traffic.  Raises if the pair has no link (unknown indices or the
+        transport is not open).
+        """
+        link = self._links.get((sender, recipient))
+        if link is None:
+            raise ValueError(f"no TCP link for pair {(sender, recipient)}")
+        if link.writer is not None:
+            link.writer.close()
+
+    # -- connection supervision --------------------------------------------------------
+
+    def _mark_lost(self, link: _Link, generation: int) -> None:
+        """Record one connection loss; idempotent per generation."""
+        if (
+            self._closing
+            or link.generation != generation
+            or link.writer is None
+        ):
+            return
+        self.conn_lost += 1
+        writer, link.writer = link.writer, None
+        writer.close()
+
+    async def _watch_eof(
+        self, link: _Link, reader: asyncio.StreamReader, generation: int
+    ) -> None:
+        """Detect a peer-side close promptly: the server never writes, so
+        any read completion (EOF or reset) means the connection died."""
+        try:
+            await reader.read()
+        except (ConnectionError, OSError):
+            pass
+        self._mark_lost(link, generation)
+
+    async def _reconnect(self, link: _Link) -> None:
+        """Re-dial one link until it is connected (or the runtime closes).
+
+        Capped exponential backoff with deterministic per-link jitter:
+        attempt ``k`` sleeps ``min(cap, base * 2^k) * uniform(0.5, 1.5)``
+        drawn from the link's seeded RNG stream.
+        """
+        while link.writer is None and not self._closing:
+            delay = min(
+                self.reconnect_cap, self.reconnect_base * (2 ** link.attempts)
+            )
+            await asyncio.sleep(delay * (0.5 + link.rng.random()))
+            if self._closing:
+                return
+            try:
+                reader, writer = await asyncio.open_connection(
+                    self.host, self.ports[link.pair[1]]
+                )
+            except OSError:
+                link.attempts += 1
+                continue
+            link.writer = writer
+            link.generation += 1
+            link.attempts = 0
+            self.reconnects += 1
+            self._spawn(self._watch_eof(link, reader, link.generation))
 
     # -- sending -----------------------------------------------------------------------
 
     def _can_transmit(self, envelope: Envelope) -> bool:
-        return (envelope.sender, envelope.recipient) in self._send_queues
+        return (envelope.sender, envelope.recipient) in self._links
 
     def _transmit(self, envelope: Envelope, frame: bytes | None) -> bool:
-        queue = self._send_queues.get((envelope.sender, envelope.recipient))
-        if queue is None:
+        link = self._links.get((envelope.sender, envelope.recipient))
+        if link is None:
             # A behavior forged an unroutable sender/recipient pair: the
             # pipeline counts it as a dropped send, not a sent message.
             return False
         try:
-            queue.put_nowait(frame)
+            link.queue.put_nowait(frame)
         except asyncio.QueueFull:
             self.backpressure_drops += 1
             return False
@@ -190,8 +377,8 @@ class TCPRuntime(RealtimeTransport):
         cap = self.batch_cap_envelopes
         byte_cap = min(self.batch_cap_bytes, MAX_FRAME_BYTES // 2)
         for pair, items in groups.items():
-            queue = self._send_queues.get(pair)
-            if queue is None:
+            link = self._links.get(pair)
+            if link is None:
                 # Connection torn down between metering and flush.
                 self.dropped_sends += len(items)
                 continue
@@ -202,18 +389,18 @@ class TCPRuntime(RealtimeTransport):
                 if current and (
                     len(current) >= cap or current_bytes + body > byte_cap
                 ):
-                    self._put_frame(queue, current)
+                    self._put_frame(link, current)
                     current = []
                     current_bytes = 0
                 current.append(envelope)
                 current_bytes += body
             if current:
-                self._put_frame(queue, current)
+                self._put_frame(link, current)
 
-    def _put_frame(self, queue: asyncio.Queue, envelopes: list[Envelope]) -> None:
+    def _put_frame(self, link: _Link, envelopes: list[Envelope]) -> None:
         frame = self._batch_frame(envelopes)
         try:
-            queue.put_nowait(frame)
+            link.queue.put_nowait(frame)
         except asyncio.QueueFull:
             # The envelopes were already metered as sends (offered load);
             # the shed frame is visible in tcp.backpressure and in
@@ -223,17 +410,69 @@ class TCPRuntime(RealtimeTransport):
             return
         self.metrics.record_frame(len(envelopes), len(frame))
 
-    async def _pump(self, queue: asyncio.Queue, writer: asyncio.StreamWriter) -> None:
-        """Drain one ordered pair's frames onto its socket.
+    async def _next_frame(self, link: _Link) -> Optional[bytes]:
+        """The link's next queued frame, or ``None`` after an idle gap."""
+        queue = link.queue
+        if not queue.empty():
+            return queue.get_nowait()
+        try:
+            return await asyncio.wait_for(
+                queue.get(), timeout=self.heartbeat_interval
+            )
+        except asyncio.TimeoutError:
+            return None
+
+    async def _pump(self, link: _Link) -> None:
+        """Drain one ordered pair's frames onto its (current) socket.
 
         ``drain()`` applies socket-level backpressure between frames (the
         pump pauses while the peer's kernel buffers are full); producers
-        shed load once the bounded queue fills on top of that.
+        shed load once the bounded queue fills on top of that.  The pump
+        outlives the socket: a failed write marks the connection lost,
+        keeps the frame in ``link.pending``, reconnects with backoff and
+        re-sends.  Idle gaps produce heartbeat frames, which both prove
+        liveness to the peer and bound how long a dead connection can
+        hide (a heartbeat write failure triggers the same healing path).
         """
         while True:
-            data = await queue.get()
-            writer.write(data)
-            await writer.drain()
+            if self._closing:
+                return
+            frame = link.pending
+            heartbeat = False
+            if frame is None:
+                frame = await self._next_frame(link)
+                if frame is None:
+                    if link.writer is None:
+                        # Idle *and* down: heal now rather than waiting
+                        # for traffic.
+                        await self._reconnect(link)
+                        if link.writer is None:
+                            return  # runtime closing
+                        continue
+                    heartbeat = True
+                    frame = self._heartbeat_frame
+                else:
+                    link.pending = frame
+            if link.writer is None:
+                await self._reconnect(link)
+                if link.writer is None:
+                    return  # runtime closing
+            try:
+                link.writer.write(frame)
+                await link.writer.drain()
+            except (ConnectionError, RuntimeError, OSError):
+                # RuntimeError covers asyncio's "write after close".
+                self._mark_lost(link, link.generation)
+                if not heartbeat:
+                    link.resend = True  # pending retained; resent above
+                continue
+            if heartbeat:
+                self.heartbeats_sent += 1
+            else:
+                if link.resend:
+                    link.resend = False
+                    self.resent_frames += 1
+                link.pending = None
 
     # -- receiving ---------------------------------------------------------------------
 
@@ -259,6 +498,10 @@ class TCPRuntime(RealtimeTransport):
                     frame = await reader.readexactly(length)
                 except (asyncio.IncompleteReadError, ConnectionError):
                     return
+                if codec.is_heartbeat(frame):
+                    # Transport chatter: never metered, never delivered.
+                    self.heartbeats_seen += 1
+                    continue
                 try:
                     envelopes = codec.decode_batch(frame)
                 except codec.CodecError:

@@ -43,6 +43,7 @@ the examples and the benchmarks use.
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 import random
 from collections import Counter as _Counter
 from typing import Any, Callable, Optional
@@ -50,6 +51,8 @@ from typing import Any, Callable, Optional
 from repro.crypto.keys import TrustedSetup
 from repro.net import codec
 from repro.net.adversary import Behavior
+from repro.net.chaos import DELIVER as _CHAOS_DELIVER, HOLD as _CHAOS_HOLD
+from repro.net.chaos import coerce_chaos
 from repro.net.envelope import Envelope
 from repro.net.metrics import Metrics
 from repro.net.party import Party
@@ -94,6 +97,7 @@ class Transport:
         measure_bytes: bool = False,
         batching: bool = True,
         workers: int = 0,
+        chaos: Any = None,
     ) -> None:
         directory = setup.directory
         self.setup = setup
@@ -139,6 +143,15 @@ class Transport:
         self.dropped_sends = 0
         self.seed = seed
         self._adv_rng = random.Random(f"{rng_namespace}-adv-{seed}")
+        #: Link-level fault injection (DESIGN §11).  ``chaos`` accepts a
+        #: :class:`~repro.net.chaos.ChaosPlane`, a
+        #: :class:`~repro.net.chaos.ChaosSpec` or a spec string; spec
+        #: forms are seeded from the run seed, so same-seed chaos runs
+        #: are exactly reproducible.  ``None`` (and an idle spec) leaves
+        #: the delivery pipeline byte-identical to a plane-free run.
+        self.chaos = coerce_chaos(chaos, seed)
+        if self.chaos is not None:
+            self.metrics.attach_counters("chaos", self.chaos.counters)
         #: Session ids whose roots have been installed on this network,
         #: and the subset still awaiting all-honest completion (progress
         #: notes scan only the latter, so a service running thousands of
@@ -516,6 +529,24 @@ class Transport:
         call this per envelope and :meth:`_flush_coalesced` once at the
         end, so one burst of activations coalesces into shared frames.
         """
+        chaos = self.chaos
+        if chaos is not None and chaos.active:
+            action, delay = chaos.decide(envelope, self._chaos_now())
+            if action is not _CHAOS_DELIVER:
+                if action is _CHAOS_HOLD:
+                    # Held by a partition / retransmitted after loss /
+                    # pulled out of line: re-injected after ``delay``,
+                    # exempt from chaos on re-entry.  Never metered as a
+                    # delivery until it actually reaches the party.
+                    chaos.release(envelope)
+                    self._chaos_requeue(envelope, delay)
+                    return False
+                # DUPLICATE: the original is delivered now (below); a
+                # *distinct* copy — its own identity, so the release
+                # marking cannot alias — is re-injected after ``delay``.
+                copy = dataclasses.replace(envelope)
+                chaos.release(copy)
+                self._chaos_requeue(copy, delay)
         parked = self._detached.get(envelope.recipient)
         if parked is not None:
             # The recipient's process is down: park the delivery the way
@@ -609,6 +640,23 @@ class Transport:
         # the crash; fold them into done-detection immediately.
         self._note_progress(self.parties[index])
         return delivered
+
+    # -- chaos hooks -------------------------------------------------------------------
+
+    def _chaos_now(self) -> float:
+        """The chaos plane's clock: simulated time or seconds since open."""
+        return 0.0
+
+    def _chaos_requeue(self, envelope: Envelope, delay: float) -> None:
+        """Re-inject a chaos-held envelope after ``delay`` time units.
+
+        The simulator pushes onto its delivery heap; realtime transports
+        spawn a sleeping task.  Both re-enter the shared pipeline, where
+        the released marking lets the envelope through.
+        """
+        raise NotImplementedError(
+            "this transport cannot re-inject chaos-held envelopes"
+        )
 
     def _buffered_delay(self, envelope: Envelope) -> Any:
         """Transport-specific in-flight parameter drawn at buffer time.
@@ -776,6 +824,7 @@ class RealtimeTransport(Transport):
         measure_bytes: bool = False,
         batching: bool = True,
         workers: int = 0,
+        chaos: Any = None,
     ) -> None:
         super().__init__(
             setup,
@@ -785,6 +834,7 @@ class RealtimeTransport(Transport):
             measure_bytes=measure_bytes,
             batching=batching,
             workers=workers,
+            chaos=chaos,
         )
         #: Pending ``call_soon`` handle for the deferred coalescing-buffer
         #: drain (see :meth:`_flush_coalesced`), or ``None``.
@@ -798,6 +848,9 @@ class RealtimeTransport(Transport):
         self.session_completion_times: dict[int, float] = {}
         self._failure: Optional[BaseException] = None
         self._opened = False
+        #: Event-loop time of the first chaos-clock reading; chaos
+        #: windows on realtime transports are seconds since then.
+        self._chaos_epoch: Optional[float] = None
 
     # -- per-session completion --------------------------------------------------------
 
@@ -837,6 +890,8 @@ class RealtimeTransport(Transport):
         if not self._opened:
             await self._open()
             self._opened = True
+            if self._chaos_epoch is None:
+                self._chaos_epoch = asyncio.get_running_loop().time()
 
     async def close(self) -> None:
         """Cancel in-flight work and tear down transport resources."""
@@ -957,6 +1012,24 @@ class RealtimeTransport(Transport):
         except RuntimeError:  # outside the loop (e.g. a test calling start())
             return
         self.session_completion_times.setdefault(session, now)
+
+    # -- chaos hooks -------------------------------------------------------------------
+
+    def _chaos_now(self) -> float:
+        try:
+            now = asyncio.get_running_loop().time()
+        except RuntimeError:  # outside the loop: treat as the run's start
+            return 0.0
+        if self._chaos_epoch is None:
+            self._chaos_epoch = now
+        return now - self._chaos_epoch
+
+    def _chaos_requeue(self, envelope: Envelope, delay: float) -> None:
+        self._spawn(self._chaos_redeliver(envelope, delay))
+
+    async def _chaos_redeliver(self, envelope: Envelope, delay: float) -> None:
+        await asyncio.sleep(delay)
+        self._deliver_envelope(envelope)
 
     # -- subclass hooks ----------------------------------------------------------------
 

@@ -80,7 +80,33 @@ def test_fault_schedule_phases():
     assert schedule.note_send()  # sends flow again after recovery
     assert schedule.dropped == 3  # only genuinely lost deliveries count
     with pytest.raises(ValueError):
-        FaultSchedule(crash_after_sends=1, recover_after_drops=0)
+        FaultSchedule(crash_after_sends=1, recover_after_drops=-1)
+
+
+def test_fault_schedule_zero_drop_window():
+    """recover_after_drops=0: recovery lands on the crash step itself.
+
+    Regression — the schedule used to reject 0, forcing every crash
+    window to swallow at least one delivery; a zero-width outage must
+    instead let the first delivery attempted while "down" pass straight
+    through, uncounted.
+    """
+    from repro.net.adversary import CrashRecoverBehavior, FaultSchedule
+
+    schedule = FaultSchedule(crash_after_sends=1, recover_after_drops=0)
+    assert schedule.note_send()
+    assert not schedule.note_send()  # the crashing send is lost
+    assert schedule.down
+    # The very first delivery finds the process already back up.
+    assert schedule.note_delivery()
+    assert schedule.recovered
+    assert schedule.dropped == 0  # the window swallowed nothing
+
+    behavior = CrashRecoverBehavior(after_sends=1, recover_after_drops=0)
+    assert behavior.transform_outgoing(_env(), RNG)
+    assert behavior.transform_outgoing(_env(), RNG) == []
+    assert behavior.allow_delivery(_env(recipient=0), RNG)
+    assert behavior.recovered
 
 
 def test_crash_recover_behavior_window():
