@@ -96,11 +96,94 @@ def _cmd_run_with_recovery(args: argparse.Namespace) -> int:
     return 0 if report["agreement"] and report["valid"] else 1
 
 
+def _cmd_sharded(args: argparse.Namespace, *, epochs: int, rounds: int) -> int:
+    """Shared ``--groups`` path of ``repro run`` and ``repro beacon``."""
+    import time
+
+    from repro.service import run_sharded
+
+    if args.group_size is not None:
+        universe = args.groups * args.group_size
+    else:
+        universe = args.n
+    started = time.perf_counter()
+    try:
+        report = run_sharded(
+            universe=universe,
+            groups=args.groups,
+            epochs=epochs,
+            rounds_per_epoch=rounds,
+            transport=args.transport,
+            mode=args.shard_mode,
+            seed=args.seed,
+            timeout=args.timeout,
+        )
+    except (TimeoutError, OSError, RuntimeError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    elapsed = time.perf_counter() - started
+    print(
+        f"universe={report.universe} groups={report.groups} "
+        f"sizes={list(report.group_sizes)} mode={report.mode} "
+        f"transport={report.transport} seed={report.seed} epochs={report.epochs}"
+    )
+    for result in report.group_results:
+        keys = [r.public_key for r in result.epoch_results]
+        last = str(keys[-1])[:40] if keys and keys[-1] is not None else "?"
+        print(
+            f"group {result.gid}: n={len(result.members)} agreed={result.agreed} "
+            f"words={result.metrics.words_total:,} "
+            f"messages={result.metrics.messages_total:,}  pk={last}"
+        )
+    for output in report.combined:
+        print(f"  beacon {output.epoch}.{output.round}: {output.value:032x}")
+    if report.executor_fallback:
+        print("shard executor:  broken pool, completed inline")
+    print(f"combined outputs verified:  {report.all_verified}")
+    print(f"words sent (all groups):    {report.merged.words_total:,}")
+    print(f"messages sent (all groups): {report.merged.messages_total:,}")
+    print(f"bytes on wire (all groups): {report.merged.bytes_total:,}")
+    print(f"wall clock:                 {elapsed:.2f}s")
+    return 0 if report.all_verified else 1
+
+
+def _check_shard_flags(args: argparse.Namespace) -> int:
+    """Usage validation for the ``--groups`` path; 0 when fine."""
+    if args.groups < 1:
+        print("error: --groups must be >= 1", file=sys.stderr)
+        return 2
+    if args.group_size is not None and args.group_size < 2:
+        print("error: --group-size must be >= 2", file=sys.stderr)
+        return 2
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     import time
 
     from repro import run_adkg
 
+    if args.groups is not None:
+        incompatible = (
+            args.full
+            or args.profile
+            or args.chaos
+            or args.crash
+            or args.workers
+            or args.no_batching
+        )
+        if incompatible:
+            print(
+                "error: --groups is incompatible with --full/--profile/"
+                "--chaos/--crash/--workers/--no-batching (groups parallelize "
+                "per shard, not per verify)",
+                file=sys.stderr,
+            )
+            return 2
+        status = _check_shard_flags(args)
+        if status:
+            return status
+        return _cmd_sharded(args, epochs=1, rounds=1)
     if args.full and args.transport != "sim":
         print("error: --full applies to the sim transport only", file=sys.stderr)
         return 2
@@ -220,6 +303,11 @@ def _cmd_beacon(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.groups is not None:
+        status = _check_shard_flags(args)
+        if status:
+            return status
+        return _cmd_sharded(args, epochs=args.epochs, rounds=args.rounds)
     try:
         report = run_beacon(
             n=args.n,
@@ -316,6 +404,33 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_shard_arguments(parser: argparse.ArgumentParser) -> None:
+    """The sharded scale-out flags shared by ``run`` and ``beacon``."""
+    parser.add_argument(
+        "--groups",
+        type=int,
+        default=None,
+        metavar="K",
+        help="shard the party universe into K independent DKG groups and "
+        "aggregate their beacons into one service (DESIGN section 12)",
+    )
+    parser.add_argument(
+        "--group-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="parties per group (universe = K*N); default: split -n across "
+        "the K groups",
+    )
+    parser.add_argument(
+        "--shard-mode",
+        choices=("multiplexed", "sequential", "process"),
+        default="multiplexed",
+        help="where groups execute: one shared transport, solo transports "
+        "one-by-one, or one worker process per group",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -395,6 +510,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="directory for snapshots + WALs (default: a temp dir)",
     )
+    _add_shard_arguments(run_p)
     run_p.set_defaults(func=_cmd_run)
 
     beacon_p = sub.add_parser(
@@ -427,6 +543,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=120.0,
         help="per-epoch wall-clock limit for realtime transports (seconds)",
     )
+    _add_shard_arguments(beacon_p)
     beacon_p.set_defaults(func=_cmd_beacon)
 
     sweep_p = sub.add_parser("sweep", help="words/rounds across n")

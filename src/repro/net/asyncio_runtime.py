@@ -42,7 +42,7 @@ class AsyncioRuntime(RealtimeTransport):
 
     def __init__(
         self,
-        setup: TrustedSetup,
+        setup: Optional[TrustedSetup],
         max_delay: float = 0.005,
         behaviors: Optional[dict[int, Behavior]] = None,
         seed: int = 0,
@@ -50,6 +50,7 @@ class AsyncioRuntime(RealtimeTransport):
         batching: bool = True,
         workers: int = 0,
         chaos=None,
+        shards=None,
     ) -> None:
         super().__init__(
             setup,
@@ -60,6 +61,7 @@ class AsyncioRuntime(RealtimeTransport):
             batching=batching,
             workers=workers,
             chaos=chaos,
+            shards=shards,
         )
         self.max_delay = max_delay
         self._delay_rng = random.Random(f"asyncio-runtime-net-{seed}")
@@ -80,7 +82,9 @@ class AsyncioRuntime(RealtimeTransport):
         """One sleeping task per (sender, recipient) link per flush."""
         groups: dict[tuple[int, int], list[Envelope]] = {}
         for envelope, _nbytes, _delay in batch:
-            pair = (envelope.sender, envelope.recipient)
+            # Slot pairs, not raw indices: in sharded mode two groups'
+            # local (s, r) pairs are distinct links.
+            pair = self._pair_slots(envelope)
             group = groups.get(pair)
             if group is None:
                 groups[pair] = group = []

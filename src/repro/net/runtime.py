@@ -65,7 +65,7 @@ class Simulation(Transport):
 
     def __init__(
         self,
-        setup: TrustedSetup,
+        setup: Optional[TrustedSetup],
         delay_model: Optional[DelayModel] = None,
         scheduler: Optional[Scheduler] = None,
         behaviors: Optional[dict[int, Behavior]] = None,
@@ -74,6 +74,7 @@ class Simulation(Transport):
         batching: bool = True,
         workers: int = 0,
         chaos: Any = None,
+        shards: Any = None,
     ) -> None:
         super().__init__(
             setup,
@@ -84,6 +85,7 @@ class Simulation(Transport):
             batching=batching,
             workers=workers,
             chaos=chaos,
+            shards=shards,
         )
         self.delay_model = delay_model or UniformDelay()
         self.scheduler = scheduler or Scheduler()

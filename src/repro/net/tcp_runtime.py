@@ -122,7 +122,7 @@ class TCPRuntime(RealtimeTransport):
 
     def __init__(
         self,
-        setup: TrustedSetup,
+        setup: Optional[TrustedSetup],
         behaviors: Optional[dict[int, Behavior]] = None,
         seed: int = 0,
         host: str = "127.0.0.1",
@@ -134,6 +134,7 @@ class TCPRuntime(RealtimeTransport):
         heartbeat_interval: float = 1.0,
         reconnect_base: float = 0.05,
         reconnect_cap: float = 2.0,
+        shards: Any = None,
     ) -> None:
         # ``measure_bytes`` exists for call-site uniformity with the other
         # transports, but TCP always meters (the byte counts are the bytes
@@ -161,6 +162,7 @@ class TCPRuntime(RealtimeTransport):
             batching=batching,
             workers=workers,
             chaos=chaos,
+            shards=shards,
         )
         self.host = host
         self.ports: dict[int, int] = {}
@@ -223,30 +225,29 @@ class TCPRuntime(RealtimeTransport):
             )
             self._servers.append(server)
             self.ports[i] = server.sockets[0].getsockname()[1]
-        for sender in range(self.n):
-            for recipient in range(self.n):
-                if sender == recipient:
-                    continue
-                pair = (sender, recipient)
-                # Bounded: _pump applies socket backpressure via drain();
-                # the cap sheds load if a peer stalls past it (counted in
-                # tcp.backpressure) instead of growing without bound.
-                link = _Link(
-                    pair,
-                    asyncio.Queue(maxsize=self.send_queue_cap),
-                    random.Random(
-                        f"tcp-reconnect-{self.seed}-{sender}-{recipient}"
-                    ),
-                )
-                self._links[pair] = link
-                # The initial connect is strict (a refused connection
-                # aborts the open); only *re*connects go through backoff.
-                reader, writer = await asyncio.open_connection(
-                    self.host, self.ports[recipient]
-                )
-                link.writer = writer
-                self._spawn(self._watch_eof(link, reader, link.generation))
-                self._spawn(self._pump(link))
+        # All ordered pairs on a single group; intra-group pairs only in
+        # sharded mode (groups never message each other).
+        for pair in self._link_pairs():
+            sender, recipient = pair
+            # Bounded: _pump applies socket backpressure via drain();
+            # the cap sheds load if a peer stalls past it (counted in
+            # tcp.backpressure) instead of growing without bound.
+            link = _Link(
+                pair,
+                asyncio.Queue(maxsize=self.send_queue_cap),
+                random.Random(
+                    f"tcp-reconnect-{self.seed}-{sender}-{recipient}"
+                ),
+            )
+            self._links[pair] = link
+            # The initial connect is strict (a refused connection
+            # aborts the open); only *re*connects go through backoff.
+            reader, writer = await asyncio.open_connection(
+                self.host, self.ports[recipient]
+            )
+            link.writer = writer
+            self._spawn(self._watch_eof(link, reader, link.generation))
+            self._spawn(self._pump(link))
 
     async def close(self) -> None:
         # Raise the closing flag *before* the base class cancels the
@@ -344,10 +345,10 @@ class TCPRuntime(RealtimeTransport):
     # -- sending -----------------------------------------------------------------------
 
     def _can_transmit(self, envelope: Envelope) -> bool:
-        return (envelope.sender, envelope.recipient) in self._links
+        return self._pair_slots(envelope) in self._links
 
     def _transmit(self, envelope: Envelope, frame: bytes | None) -> bool:
-        link = self._links.get((envelope.sender, envelope.recipient))
+        link = self._links.get(self._pair_slots(envelope))
         if link is None:
             # A behavior forged an unroutable sender/recipient pair: the
             # pipeline counts it as a dropped send, not a sent message.
@@ -369,7 +370,7 @@ class TCPRuntime(RealtimeTransport):
         """
         groups: dict[tuple[int, int], list] = {}
         for envelope, nbytes, _delay in batch:
-            pair = (envelope.sender, envelope.recipient)
+            pair = self._pair_slots(envelope)
             group = groups.get(pair)
             if group is None:
                 groups[pair] = group = []
@@ -510,8 +511,7 @@ class TCPRuntime(RealtimeTransport):
                 valid: list[Envelope] = []
                 for envelope in envelopes:
                     if (
-                        envelope.recipient != party
-                        or not 0 <= envelope.sender < self.n
+                        not self._wire_accepts(envelope, party)
                         or envelope.depth < 0
                     ):
                         self.rejected_frames += 1

@@ -14,9 +14,17 @@ proactive key refresh.  This package hosts the first of them:
   threshold-VRF evaluations, chained across epochs so the stream stays
   linked over key handoffs.
 
+* :class:`~repro.service.shards.GroupCoordinator` /
+  :class:`~repro.service.shards.ShardedBeacon` — horizontal scale-out
+  (DESIGN §12): k independent DKG groups partitioned from one party
+  universe, run multiplexed over a shared transport, sequentially, or in
+  worker processes (:class:`~repro.service.shards.ShardExecutor`), with
+  per-group beacon streams hash-combined into one randomness service.
+
 :func:`~repro.service.beacon.run_beacon` is the one-call entry point the
 CLI (``repro beacon``), the pipelining experiment and the session
-benchmark share.
+benchmark share; :func:`~repro.service.shards.run_sharded` is its
+multi-group analogue (``repro run --groups k``).
 """
 
 from repro.service.beacon import (
@@ -26,12 +34,28 @@ from repro.service.beacon import (
     run_beacon,
 )
 from repro.service.epochs import EpochDriver, EpochResult
+from repro.service.shards import (
+    CombinedOutput,
+    GroupCoordinator,
+    GroupResult,
+    ShardedBeacon,
+    ShardExecutor,
+    ShardReport,
+    run_sharded,
+)
 
 __all__ = [
     "BeaconOutput",
     "BeaconReport",
+    "CombinedOutput",
     "EpochDriver",
     "EpochResult",
+    "GroupCoordinator",
+    "GroupResult",
     "RandomnessBeacon",
+    "ShardExecutor",
+    "ShardReport",
+    "ShardedBeacon",
     "run_beacon",
+    "run_sharded",
 ]

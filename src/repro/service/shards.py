@@ -1,0 +1,823 @@
+"""Sharded multi-group scale-out: k DKG groups, one randomness service.
+
+Word complexity is O(n³) per group (Theorems 6-10), so this module scales
+*out* instead of up: a :class:`GroupCoordinator` partitions a universe of
+parties into k independent DKG groups (deterministic seeded assignment,
+per-group n/f — see :mod:`repro.net.sharding`), runs every group's epoch
+sessions, and a :class:`ShardedBeacon` aggregates the per-group
+threshold-VRF streams into one combined randomness output per round.
+
+Three execution modes, one invariant.  The same groups can run
+
+* ``multiplexed`` — every group as its own session family on ONE shared
+  transport (sim, asyncio or tcp; the batched message plane lets
+  cross-group envelopes share wire frames);
+* ``sequential`` — each group solo on its own transport, one after the
+  other (the single-core reference);
+* ``process`` — each group solo inside a worker process
+  (:class:`ShardExecutor`, fork-context pool with the byte-only boundary
+  discipline of :mod:`repro.crypto.pool`: codec-encoded group configs
+  in, codec-encoded results/metrics out, inline fallback on a broken
+  pool), so k groups use k cores.
+
+and the per-group protocol word/byte totals, verify-counter deltas,
+group keys and beacon values are **byte-identical** across all three —
+the differential gate ``tests/service/test_shards.py`` pins.  The
+mechanism: a group's parties derive every RNG stream from
+``party-{group.seed}-{i}`` and its epochs run in the group's own
+session-id block (``repro.net.sharding.SESSION_STRIDE``), identical to a
+solo transport of that group, so execution mode can only move *where*
+the work runs, never what any party computes.
+
+Per-group :class:`~repro.net.metrics.Metrics` namespacing fixes the
+counter-collision problem of concurrent session families: each family
+meters into its own instance and :meth:`Metrics.merged` (associative,
+order-independent) produces the service totals.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from repro.crypto.hashing import hash_to_int
+from repro.net.delays import FixedDelay
+from repro.net.metrics import Metrics
+from repro.net.runtime import Simulation
+from repro.net.sharding import ShardGroup, make_shard_group, partition_universe
+from repro.net.transport import RealtimeTransport, Transport, make_transport
+from repro.service.beacon import BeaconOutput, RandomnessBeacon
+from repro.service.epochs import EpochDriver, EpochResult, _default_root_factory
+
+__all__ = [
+    "CombinedOutput",
+    "GroupCoordinator",
+    "GroupResult",
+    "ShardExecutor",
+    "ShardReport",
+    "ShardedBeacon",
+    "run_sharded",
+    "shutdown_shard_executor",
+]
+
+SHARD_MODES = ("multiplexed", "sequential", "process")
+
+#: Wire tag + version of the worker config/result tuples.  The process
+#: boundary carries only plain codec values, so shape changes must bump
+#: the version (a worker from a stale fork would otherwise misparse).
+_CONFIG_TAG = "shard-run"
+_RESULT_TAG = "shard-result"
+_WIRE_VERSION = 1
+
+
+# -- coordinator ---------------------------------------------------------------------
+
+
+class GroupCoordinator:
+    """Partition a party universe into k groups and build their transports.
+
+    The membership decision is a pure function of ``(universe, groups,
+    seed)`` (seeded shuffle, contiguous chunks, sizes within one of each
+    other) and each group's key material a pure function of its gid and
+    the universe seed — so every execution mode, and a worker process
+    holding nothing but a config tuple, reconstructs identical groups.
+    """
+
+    def __init__(
+        self,
+        universe: int,
+        groups: int,
+        *,
+        group_f: Optional[int] = None,
+        seed: int = 0,
+        params: str = "TESTING",
+    ) -> None:
+        self.universe = universe
+        self.seed = seed
+        self.params = params
+        self.group_f = group_f
+        assignment = partition_universe(universe, groups, seed)
+        self.groups: tuple[ShardGroup, ...] = tuple(
+            make_shard_group(
+                gid, len(members), group_f, seed, members=members, params=params
+            )
+            for gid, members in enumerate(assignment)
+        )
+
+    @property
+    def group_sizes(self) -> tuple[int, ...]:
+        return tuple(group.n for group in self.groups)
+
+    def transport(self, kind: str, **kwargs: Any) -> Transport:
+        """One shared transport multiplexing every group (``setup=None``)."""
+        return make_transport(
+            kind, None, seed=self.seed, shards=self.groups, **kwargs
+        )
+
+    def group_config(
+        self,
+        group: ShardGroup,
+        *,
+        epochs: int,
+        rounds_per_epoch: int,
+        transport: str,
+        timeout: float,
+    ) -> tuple:
+        """The plain-value description a worker rebuilds the group from.
+
+        Deliberately contains no key material: the worker re-derives the
+        setup from ``(gid, n, f, universe seed)`` via
+        :func:`~repro.net.sharding.make_shard_group`, which is exactly
+        how this coordinator built it.
+        """
+        return (
+            _CONFIG_TAG,
+            _WIRE_VERSION,
+            group.gid,
+            group.n,
+            group.f,
+            self.seed,
+            group.members,
+            epochs,
+            rounds_per_epoch,
+            self.params,
+            transport,
+            timeout,
+        )
+
+
+# -- results -------------------------------------------------------------------------
+
+
+@dataclass
+class GroupResult:
+    """One group's complete run: epochs, beacon stream, namespaced metrics."""
+
+    gid: int
+    members: tuple[int, ...]
+    epoch_results: list[EpochResult]
+    outputs: list[BeaconOutput]
+    metrics: Metrics
+    #: Per-group wall clock where separable (sequential/process modes);
+    #: 0.0 in multiplexed mode, where groups share one event loop.
+    wall_clock_s: float = 0.0
+
+    @property
+    def transcripts(self) -> dict[int, Any]:
+        return {result.epoch: result.transcript for result in self.epoch_results}
+
+    @property
+    def agreed(self) -> bool:
+        return bool(self.epoch_results) and all(
+            result.agreed for result in self.epoch_results
+        )
+
+
+@dataclass(frozen=True)
+class CombinedOutput:
+    """One aggregated beacon round across all k groups."""
+
+    epoch: int
+    round: int
+    #: Per-group VRF beacon values, gid order.
+    values: tuple[int, ...]
+    #: The service's single randomness output for this round.
+    value: int
+
+
+class ShardedBeacon:
+    """Hash-combine k per-group beacon streams into one verified service.
+
+    Every group contributes its chained threshold-VRF value for each
+    (epoch, round); the combined output hashes them all, so it is
+    unpredictable as long as *any* group's value is (an adversary
+    controlling f of every group still biases nothing — per-group VRF
+    uniqueness pins each contribution).  Verification recomputes each
+    group's chain against its own transcripts plus the combination.
+    """
+
+    DOMAIN = "sharded-beacon"
+    MODULUS = 1 << 128
+
+    def __init__(self, groups: Sequence[ShardGroup]) -> None:
+        self.groups = tuple(groups)
+
+    @classmethod
+    def combine_value(
+        cls, epoch: int, round_index: int, values: Sequence[int]
+    ) -> int:
+        return hash_to_int(
+            cls.DOMAIN, cls.MODULUS, epoch, round_index, tuple(values)
+        )
+
+    def combine(
+        self, group_results: Sequence[GroupResult]
+    ) -> list[CombinedOutput]:
+        """Aggregate aligned per-group streams round by round."""
+        if len(group_results) != len(self.groups):
+            raise ValueError(
+                f"expected {len(self.groups)} group results, "
+                f"got {len(group_results)}"
+            )
+        lengths = {len(result.outputs) for result in group_results}
+        if len(lengths) != 1:
+            raise ValueError(f"misaligned beacon streams: lengths {lengths}")
+        combined = []
+        for index in range(lengths.pop()):
+            rows = [result.outputs[index] for result in group_results]
+            epoch, round_index = rows[0].epoch, rows[0].round
+            if any(
+                row.epoch != epoch or row.round != round_index for row in rows
+            ):
+                raise ValueError(
+                    f"misaligned beacon streams at position {index}"
+                )
+            values = tuple(row.value for row in rows)
+            combined.append(
+                CombinedOutput(
+                    epoch=epoch,
+                    round=round_index,
+                    values=values,
+                    value=self.combine_value(epoch, round_index, values),
+                )
+            )
+        return combined
+
+    def verify(
+        self,
+        group_results: Sequence[GroupResult],
+        combined: Sequence[CombinedOutput],
+    ) -> bool:
+        """Per-group chain verification plus combination recomputation."""
+        if len(group_results) != len(self.groups):
+            return False
+        for group, result in zip(self.groups, group_results):
+            beacon = RandomnessBeacon(group.setup)
+            if not beacon.verify_chain(result.outputs, result.transcripts):
+                return False
+        try:
+            expected = self.combine(group_results)
+        except ValueError:
+            return False
+        return list(combined) == expected
+
+
+# -- the metrics boundary ------------------------------------------------------------
+
+#: Protocol-plane Metrics fields that are execution-mode-invariant (and
+#: therefore the cross-mode differential gate).  Frame/wire accounting is
+#: deliberately absent: coalescing legitimately differs between a shared
+#: transport (cross-group envelopes share frames) and solo runs.
+_VIEW_SCALARS = (
+    "words_total",
+    "messages_total",
+    "bytes_total",
+    "deliveries",
+    "max_depth",
+)
+_VIEW_COUNTERS = (
+    "words_by_layer",
+    "messages_by_layer",
+    "words_by_type",
+    "messages_by_type",
+    "bytes_by_type",
+)
+#: Work-counter views that are per-group (each group has its own
+#: directory, hence its own verify cache and pairing group).  The
+#: process-global ``encode`` memo is excluded: it is shared across
+#: groups on a multiplexed transport and so not mode-comparable.
+_VIEW_WORK = ("verify", "pairing")
+
+
+def _metrics_view(metrics: Metrics) -> dict:
+    """A Metrics' mode-invariant protocol plane as plain codec values."""
+    view: dict[str, Any] = {name: getattr(metrics, name) for name in _VIEW_SCALARS}
+    for name in _VIEW_COUNTERS:
+        view[name] = dict(getattr(metrics, name))
+    view["work"] = {name: metrics.counters(name) for name in _VIEW_WORK}
+    return view
+
+
+def _metrics_from_view(view: dict) -> Metrics:
+    """Rebuild a namespaced Metrics from its plain-value view.
+
+    All three execution modes pass through this (the worker's result
+    crosses the process boundary as a view; multiplexed/sequential runs
+    are normalized through the same function), so ``GroupResult.metrics``
+    compares exactly across modes.
+    """
+    metrics = Metrics()
+    for name in _VIEW_SCALARS:
+        setattr(metrics, name, view[name])
+    for name in _VIEW_COUNTERS:
+        getattr(metrics, name).update(view[name])
+    for name, counters in view["work"].items():
+        metrics.attach_counters(name, lambda snap=dict(counters): dict(snap))
+    return metrics
+
+
+# -- solo group execution (sequential mode + the worker body) ------------------------
+
+
+def _run_group_config(config: tuple) -> tuple:
+    """Run one group solo from its plain-value config; plain-value result.
+
+    This is the entire worker body — and sequential mode calls it
+    in-process on the *decoded* config, so both sides of the process
+    boundary execute literally the same function on literally the same
+    values.
+    """
+    if (
+        not isinstance(config, tuple)
+        or len(config) != 12
+        or config[0] != _CONFIG_TAG
+        or config[1] != _WIRE_VERSION
+    ):
+        raise ValueError(f"malformed shard config: {config!r}")
+    (
+        _tag,
+        _version,
+        gid,
+        n,
+        f,
+        seed,
+        members,
+        epochs,
+        rounds_per_epoch,
+        params,
+        transport,
+        timeout,
+    ) = config
+    group = make_shard_group(gid, n, f, seed, members=members, params=params)
+    kwargs = {"delay_model": FixedDelay(1.0)} if transport == "sim" else {}
+    runtime = make_transport(transport, group.setup, seed=group.seed, **kwargs)
+    started = time.perf_counter()
+    driver = EpochDriver(
+        runtime,
+        epochs=epochs,
+        session_base=group.session_base,
+        timeout=timeout,
+    )
+    epoch_results = driver.run()
+    if isinstance(runtime, Simulation):
+        # Drain stragglers still in flight when the last session
+        # completed: delivery counts are then a function of the traffic,
+        # not of where the stop predicate happened to halt the run —
+        # which is what makes them comparable across execution modes.
+        runtime.run()
+    wall = time.perf_counter() - started
+    beacon = RandomnessBeacon(group.setup, rounds_per_epoch=rounds_per_epoch)
+    for result in epoch_results:
+        beacon.emit_epoch(result.epoch, result.transcript)
+    return (
+        _RESULT_TAG,
+        _WIRE_VERSION,
+        gid,
+        tuple(
+            (
+                result.epoch,
+                result.session,
+                result.transcript,
+                result.outputs,
+                result.started_at,
+                result.completed_at,
+            )
+            for result in epoch_results
+        ),
+        tuple(
+            (output.epoch, output.round, output.prev, output.value, output.evaluation)
+            for output in beacon.outputs
+        ),
+        _metrics_view(runtime.metrics),
+        wall,
+    )
+
+
+def _group_result_from_raw(group: ShardGroup, raw: tuple) -> GroupResult:
+    """Rehydrate a solo run's plain-value result into a GroupResult."""
+    if (
+        not isinstance(raw, tuple)
+        or len(raw) != 7
+        or raw[0] != _RESULT_TAG
+        or raw[1] != _WIRE_VERSION
+        or raw[2] != group.gid
+    ):
+        raise ValueError(f"malformed shard result for group {group.gid}")
+    _tag, _version, _gid, epoch_rows, output_rows, view, wall = raw
+    epoch_results = [
+        EpochResult(
+            epoch=epoch,
+            session=session,
+            transcript=transcript,
+            outputs=dict(outputs),
+            started_at=started_at,
+            completed_at=completed_at,
+        )
+        for epoch, session, transcript, outputs, started_at, completed_at in epoch_rows
+    ]
+    outputs = [
+        BeaconOutput(
+            epoch=epoch, round=rnd, prev=prev, value=value, evaluation=evaluation
+        )
+        for epoch, rnd, prev, value, evaluation in output_rows
+    ]
+    return GroupResult(
+        gid=group.gid,
+        members=group.members,
+        epoch_results=epoch_results,
+        outputs=outputs,
+        metrics=_metrics_from_view(view),
+        wall_clock_s=wall,
+    )
+
+
+# -- the process-per-shard executor --------------------------------------------------
+
+_EXECUTOR: Optional[ProcessPoolExecutor] = None
+_EXECUTOR_SIZE = 0
+_EXECUTOR_LOCK = threading.Lock()
+
+
+def _warm() -> bool:
+    """No-op task forcing worker forks before event loops/sockets exist."""
+    return True
+
+
+def _get_executor(workers: int) -> ProcessPoolExecutor:
+    """The module-wide shard executor, grown (never shrunk) to ``workers``.
+
+    Mirrors :mod:`repro.crypto.pool`'s discipline: fork context where
+    available, shared across :class:`ShardExecutor` instances so repeated
+    runs pay the fork cost once, warmed at creation.
+    """
+    global _EXECUTOR, _EXECUTOR_SIZE
+    with _EXECUTOR_LOCK:
+        if _EXECUTOR is None or _EXECUTOR_SIZE < workers:
+            if _EXECUTOR is not None:
+                _EXECUTOR.shutdown(wait=False, cancel_futures=True)
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:
+                context = multiprocessing.get_context()
+            _EXECUTOR = ProcessPoolExecutor(max_workers=workers, mp_context=context)
+            _EXECUTOR_SIZE = workers
+            for _ in range(workers):
+                _EXECUTOR.submit(_warm)
+        return _EXECUTOR
+
+
+def _discard_executor() -> None:
+    global _EXECUTOR, _EXECUTOR_SIZE
+    with _EXECUTOR_LOCK:
+        if _EXECUTOR is not None:
+            _EXECUTOR.shutdown(wait=False, cancel_futures=True)
+        _EXECUTOR = None
+        _EXECUTOR_SIZE = 0
+
+
+def shutdown_shard_executor() -> None:
+    """Tear down the shared shard executor (test isolation)."""
+    _discard_executor()
+
+
+def _shard_worker(blob: bytes) -> bytes:
+    """Worker entry: codec-encoded config in, codec-encoded result out.
+
+    Bytes are the only thing crossing the boundary in either direction —
+    the same discipline as the verification pool: no live objects, no key
+    material (the worker re-derives the group from the seed).
+    """
+    from repro.net import codec
+
+    return codec.encode(_run_group_config(codec.decode(blob)))
+
+
+class ShardExecutor:
+    """Run group configs in worker processes, one group per task.
+
+    A broken pool (worker killed mid-run, fork failure) marks the
+    instance ``broken``, discards the shared executor and completes the
+    batch inline — degraded to sequential wall-clock, byte-identical
+    results (the inline path decodes the very blobs the workers would
+    have received, so even the codec round-trip is shared).
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError("ShardExecutor needs at least one worker")
+        self.workers = workers
+        self.broken = False
+        _get_executor(workers)  # pre-fork before any event loop exists
+
+    def run(self, configs: Sequence[tuple]) -> list[tuple]:
+        """Execute every config; results in config order."""
+        from repro.net import codec
+
+        blobs = [codec.encode(config) for config in configs]
+        if not self.broken:
+            try:
+                executor = _get_executor(self.workers)
+                futures = [executor.submit(_shard_worker, blob) for blob in blobs]
+                return [codec.decode(future.result()) for future in futures]
+            except BrokenProcessPool:
+                self.broken = True
+                _discard_executor()
+        return [_run_group_config(codec.decode(blob)) for blob in blobs]
+
+
+# -- multiplexed drivers -------------------------------------------------------------
+
+
+def _run_multiplexed_sim(
+    sim: Simulation,
+    groups: Sequence[ShardGroup],
+    *,
+    epochs: int,
+    max_steps_per_epoch: int = 5_000_000,
+) -> dict[int, list[EpochResult]]:
+    """Drive every group's epoch pipeline on one deterministic simulator.
+
+    All groups' current epochs are in flight at once; whenever any
+    session completes, that group's next epoch starts — so the simulated
+    network always carries k concurrent session families (the scale-out
+    analogue of ``EpochDriver``'s pipelining).
+    """
+    results: dict[int, list[EpochResult]] = {group.gid: [] for group in groups}
+    pending: dict[int, tuple[int, int, float]] = {}
+    for group in groups:
+        sid = group.session_of(0)
+        pending[sid] = (group.gid, 0, sim.time)
+        sim.start_session(sid, _default_root_factory)
+    budget = max_steps_per_epoch * epochs * max(1, len(groups))
+    while pending:
+        sim.run(
+            max_steps=budget,
+            stop=lambda s: any(s.session_complete(sid) for sid in pending),
+        )
+        done = [sid for sid in pending if sim.session_complete(sid)]
+        if not done:
+            raise RuntimeError(
+                f"simulation quiesced with incomplete shard sessions "
+                f"{sorted(pending)}"
+            )
+        for sid in sorted(done):
+            gid, epoch, started = pending.pop(sid)
+            outputs = sim.honest_results(sid)
+            values = list(outputs.values())
+            if not values or any(v != values[0] for v in values):
+                raise RuntimeError(
+                    f"honest parties disagree in shard session {sid}"
+                )
+            results[gid].append(
+                EpochResult(
+                    epoch=epoch,
+                    session=sid,
+                    transcript=values[0],
+                    outputs=outputs,
+                    started_at=started,
+                    completed_at=sim.honest_completion_time(sid),
+                )
+            )
+            sim.collect_session(sid)
+            nxt = epoch + 1
+            if nxt < epochs:
+                group = groups[gid]
+                next_sid = group.session_of(nxt)
+                pending[next_sid] = (gid, nxt, sim.time)
+                sim.start_session(next_sid, _default_root_factory)
+    # Drain to quiescence so straggler deliveries (in flight when their
+    # session completed) are metered in every mode alike.
+    sim.run(max_steps=budget)
+    return results
+
+
+async def _run_multiplexed_realtime(
+    transport: RealtimeTransport,
+    groups: Sequence[ShardGroup],
+    *,
+    epochs: int,
+    timeout: float,
+) -> dict[int, list[EpochResult]]:
+    """Drive every group concurrently on one live realtime transport."""
+    root_factory = _default_root_factory
+    loop = asyncio.get_running_loop()
+    origin = loop.time()
+
+    async def drive(group: ShardGroup) -> list[EpochResult]:
+        collected: list[EpochResult] = []
+        for epoch in range(epochs):
+            sid = group.session_of(epoch)
+            started = loop.time() - origin
+            transport.start_session(sid, root_factory)
+            outputs = await transport.wait_session(sid, timeout=timeout)
+            values = list(outputs.values())
+            if not values or any(v != values[0] for v in values):
+                raise RuntimeError(
+                    f"honest parties disagree in shard session {sid}"
+                )
+            completed = transport.session_completion_times.get(sid)
+            now = (completed if completed is not None else loop.time()) - origin
+            collected.append(
+                EpochResult(
+                    epoch=epoch,
+                    session=sid,
+                    transcript=values[0],
+                    outputs=outputs,
+                    started_at=started,
+                    completed_at=now,
+                )
+            )
+            transport.collect_session(sid)
+        return collected
+
+    await asyncio.wait_for(transport.open(), timeout=timeout)
+    try:
+        per_group = await asyncio.gather(*(drive(group) for group in groups))
+    finally:
+        await transport.close()
+    return {group.gid: results for group, results in zip(groups, per_group)}
+
+
+def _run_multiplexed(
+    coordinator: GroupCoordinator,
+    *,
+    transport: str,
+    epochs: int,
+    rounds_per_epoch: int,
+    timeout: float,
+) -> list[GroupResult]:
+    kwargs = {"delay_model": FixedDelay(1.0)} if transport == "sim" else {}
+    runtime = coordinator.transport(transport, **kwargs)
+    if isinstance(runtime, Simulation):
+        epoch_map = _run_multiplexed_sim(
+            runtime, coordinator.groups, epochs=epochs
+        )
+    elif isinstance(runtime, RealtimeTransport):
+        epoch_map = asyncio.run(
+            _run_multiplexed_realtime(
+                runtime, coordinator.groups, epochs=epochs, timeout=timeout
+            )
+        )
+    else:  # pragma: no cover - make_transport only builds the above
+        raise TypeError(f"unsupported transport {type(runtime).__name__!r}")
+    group_results = []
+    for group in coordinator.groups:
+        beacon = RandomnessBeacon(group.setup, rounds_per_epoch=rounds_per_epoch)
+        epoch_results = epoch_map[group.gid]
+        for result in epoch_results:
+            beacon.emit_epoch(result.epoch, result.transcript)
+        group_results.append(
+            GroupResult(
+                gid=group.gid,
+                members=group.members,
+                epoch_results=epoch_results,
+                outputs=list(beacon.outputs),
+                metrics=_metrics_from_view(
+                    _metrics_view(runtime.shard_metrics[group.gid])
+                ),
+            )
+        )
+    return group_results
+
+
+# -- the one-call service entry point ------------------------------------------------
+
+
+@dataclass
+class ShardReport:
+    """Everything one ``run_sharded`` invocation produced and measured."""
+
+    universe: int
+    groups: int
+    group_sizes: tuple[int, ...]
+    mode: str
+    transport: str
+    epochs: int
+    rounds_per_epoch: int
+    seed: int
+    group_results: list[GroupResult] = field(default_factory=list)
+    combined: list[CombinedOutput] = field(default_factory=list)
+    all_verified: bool = False
+    #: Order-independent merge of the per-group namespaced metrics.
+    merged: Metrics = field(default_factory=Metrics)
+    wall_clock_s: float = 0.0
+    #: True when process mode degraded to inline on a broken pool.
+    executor_fallback: bool = False
+
+    @property
+    def agreed(self) -> bool:
+        return bool(self.group_results) and all(
+            result.agreed for result in self.group_results
+        )
+
+    def summary(self) -> dict:
+        return {
+            "universe": self.universe,
+            "groups": self.groups,
+            "group_sizes": list(self.group_sizes),
+            "mode": self.mode,
+            "transport": self.transport,
+            "epochs": self.epochs,
+            "rounds": len(self.combined),
+            "all_verified": self.all_verified,
+            "wall_clock_s": round(self.wall_clock_s, 3),
+            "words_total": self.merged.words_total,
+            "messages_total": self.merged.messages_total,
+            "bytes_total": self.merged.bytes_total,
+            "per_group_words": [
+                result.metrics.words_total for result in self.group_results
+            ],
+            "combined_values": [output.value for output in self.combined],
+            "executor_fallback": self.executor_fallback,
+        }
+
+
+def run_sharded(
+    universe: int = 8,
+    groups: int = 2,
+    *,
+    group_f: Optional[int] = None,
+    epochs: int = 1,
+    rounds_per_epoch: int = 2,
+    transport: str = "sim",
+    mode: str = "multiplexed",
+    seed: int = 0,
+    params: str = "TESTING",
+    timeout: float = 120.0,
+    workers: Optional[int] = None,
+) -> ShardReport:
+    """Run k DKG groups to one combined randomness service.
+
+    ``mode`` selects where the groups execute (``multiplexed`` on one
+    shared transport, ``sequential`` solo one-by-one, ``process`` in a
+    worker pool of ``workers`` — default one per group); per-group
+    results are byte-identical across modes.  ``transport`` applies to
+    the shared transport in multiplexed mode and to each solo transport
+    otherwise.
+    """
+    if mode not in SHARD_MODES:
+        raise ValueError(f"unknown shard mode {mode!r}; choose from {SHARD_MODES}")
+    coordinator = GroupCoordinator(
+        universe, groups, group_f=group_f, seed=seed, params=params
+    )
+    executor_fallback = False
+    started = time.perf_counter()
+    if mode == "multiplexed":
+        group_results = _run_multiplexed(
+            coordinator,
+            transport=transport,
+            epochs=epochs,
+            rounds_per_epoch=rounds_per_epoch,
+            timeout=timeout,
+        )
+    else:
+        configs = [
+            coordinator.group_config(
+                group,
+                epochs=epochs,
+                rounds_per_epoch=rounds_per_epoch,
+                transport=transport,
+                timeout=timeout,
+            )
+            for group in coordinator.groups
+        ]
+        if mode == "process":
+            executor = ShardExecutor(workers or len(coordinator.groups))
+            raws = executor.run(configs)
+            executor_fallback = executor.broken
+        else:
+            raws = [_run_group_config(config) for config in configs]
+        group_results = [
+            _group_result_from_raw(group, raw)
+            for group, raw in zip(coordinator.groups, raws)
+        ]
+    wall_clock_s = time.perf_counter() - started
+
+    sharded = ShardedBeacon(coordinator.groups)
+    combined = sharded.combine(group_results)
+    all_verified = all(
+        result.agreed for result in group_results
+    ) and sharded.verify(group_results, combined)
+
+    return ShardReport(
+        universe=universe,
+        groups=groups,
+        group_sizes=coordinator.group_sizes,
+        mode=mode,
+        transport=transport,
+        epochs=epochs,
+        rounds_per_epoch=rounds_per_epoch,
+        seed=seed,
+        group_results=group_results,
+        combined=combined,
+        all_verified=all_verified,
+        merged=Metrics.merged(result.metrics for result in group_results),
+        wall_clock_s=wall_clock_s,
+        executor_fallback=executor_fallback,
+    )

@@ -1,0 +1,101 @@
+"""Shard isolation at scale: k session families on one transport ≡ k solo runs.
+
+The sharded transport's whole contract is that multiplexing k groups over
+one network changes *where* envelopes travel, never what any party
+computes or how much each group says.  These tests pin that contract at
+the transport layer (below ``repro.service.shards``): concurrent group
+roots on one simulator must reproduce each group's solo run byte for
+byte — words, messages, deliveries, agreed transcripts — and the same
+groups over real TCP sockets must agree with the simulator at f=0.
+"""
+
+import asyncio
+
+from repro.net.delays import FixedDelay
+from repro.net.runtime import Simulation
+from repro.service import GroupCoordinator
+from repro.service.epochs import _default_root_factory
+
+
+def _solo_run(group):
+    """The reference: this group alone on its own drained simulator."""
+    sim = Simulation(group.setup, seed=group.seed, delay_model=FixedDelay(1.0))
+    sid = group.session_of(0)
+    sim.start_session(sid, _default_root_factory)
+    sim.run()  # to quiescence: every straggler delivery is metered
+    return sim.honest_results(sid), sim.metrics
+
+
+def test_eight_concurrent_groups_equal_eight_solo_runs():
+    coordinator = GroupCoordinator(24, 8, seed=3)
+    shared = Simulation(
+        None, seed=3, shards=coordinator.groups, delay_model=FixedDelay(1.0)
+    )
+    for group in coordinator.groups:
+        shared.start_session(group.session_of(0), _default_root_factory)
+    shared.run()  # all eight families to quiescence
+
+    group_keys = set()
+    for group in coordinator.groups:
+        sid = group.session_of(0)
+        assert shared.session_complete(sid)
+        outputs = shared.honest_results(sid)
+        solo_outputs, solo_metrics = _solo_run(group)
+
+        # Same agreed transcript, per party, as the solo run.
+        assert outputs == solo_outputs
+        transcripts = set(outputs.values())
+        assert len(transcripts) == 1  # agreement within the group
+        group_keys.add(str(transcripts.pop().public_key))
+
+        # Same traffic: the group's namespaced metrics on the shared
+        # transport equal the solo transport's global metrics.
+        shard = shared.shard_metrics[group.gid]
+        assert shard.words_total == solo_metrics.words_total
+        assert shard.messages_total == solo_metrics.messages_total
+        assert shard.deliveries == solo_metrics.deliveries
+        assert dict(shard.words_by_layer) == dict(solo_metrics.words_by_layer)
+        assert dict(shard.words_by_type) == dict(solo_metrics.words_by_type)
+
+    # Eight groups, eight independent key streams.
+    assert len(group_keys) == 8
+    # The shared transport's global metrics are exactly the sum of the
+    # per-group families — nothing metered twice, nothing dropped.
+    assert shared.metrics.words_total == sum(
+        m.words_total for m in shared.shard_metrics
+    )
+    assert shared.metrics.messages_total == sum(
+        m.messages_total for m in shared.shard_metrics
+    )
+
+
+def test_two_groups_over_tcp_match_the_simulator():
+    """k=2 at f=0 over real sockets: schedule-independent transcripts.
+
+    Word totals are NOT asserted on tcp (delivery timing is real, so
+    per-run framing differs); at f=0 every party folds all n seeded
+    contributions, making the agreed transcripts schedule-independent —
+    those, plus zero rejected frames, are the sound cross-transport gate.
+    """
+    coordinator = GroupCoordinator(8, 2, seed=4, group_f=0)
+
+    async def scenario():
+        runtime = coordinator.transport("tcp")
+        await runtime.open()
+        try:
+            for group in coordinator.groups:
+                runtime.start_session(group.session_of(0), _default_root_factory)
+            outputs = {}
+            for group in coordinator.groups:
+                outputs[group.gid] = await runtime.wait_session(
+                    group.session_of(0), timeout=60
+                )
+        finally:
+            await runtime.close()
+        return outputs, runtime.rejected_frames
+
+    tcp_outputs, rejected = asyncio.run(scenario())
+    assert rejected == 0
+    for group in coordinator.groups:
+        solo_outputs, _metrics = _solo_run(group)
+        assert tcp_outputs[group.gid] == solo_outputs
