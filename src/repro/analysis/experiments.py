@@ -1,4 +1,4 @@
-"""Runners for the experiment index E1-E16 (DESIGN.md section 6).
+"""Runners for the experiment index E1-E18 (DESIGN.md section 6).
 
 Each runner executes seeded simulations and returns plain row dicts that
 the benchmarks assert on and ``scripts/generate_experiments.py`` renders
@@ -8,8 +8,10 @@ The index is contiguous: E1-E10 regenerate the paper's claims and
 ablations, E11 (transports) and E12 (hot-path counters) are covered by
 their benchmarks, E13 runs epoch pipelining, E14 is the crash–recovery
 fault matrix over the durable storage layer, E15 (rendered inline by the
-script) gates the parallel crypto plane, and E16 is the chaos matrix
-over the link-level fault plane (DESIGN §11).
+script) gates the parallel crypto plane, E16 is the chaos matrix over
+the link-level fault plane (DESIGN §11), E17 (sharded scale-out) is
+covered by its benchmark, and E18 is the membership-churn matrix over
+proactive resharing (DESIGN §13).
 """
 
 from __future__ import annotations
@@ -714,6 +716,99 @@ def run_chaos_matrix(
                 "rounds": round(tcp.rounds, 2),
             }
         )
+    return rows
+
+
+# -- E18: membership churn (proactive resharing across committees) ------------------------
+
+
+def run_churn_matrix(
+    seed: int = 2,
+    include_realtime: bool = True,
+) -> list[dict]:
+    """E18: the group key survives committee churn, byte-identically.
+
+    Each row runs a membership schedule (joins, leaves, a threshold
+    change) through :func:`repro.service.membership.run_churn`: epoch 0
+    is a fresh ADKG, every later epoch a certificate-gated resharing
+    handoff.  The matrix covers a no-churn proactive refresh, the full
+    churn schedule, a crash-recover handoff (a party WAL-replays into
+    the reshare epoch), a healing-partition handoff, and the realtime
+    transports.  The acceptance invariant is uniform and gated here —
+    every epoch's group key encodes to the same bytes as epoch 0's and
+    the cross-handoff beacon chain verifies; a violation raises rather
+    than returning a quietly wrong table.
+    """
+    from repro.service import run_churn
+
+    matrix = "join:8@1;join:9@2;leave:0@2;leave:1@3;threshold:1@3"
+    cases: list[tuple[str, str, dict]] = [
+        ("proactive-refresh", "sim", dict(universe_n=7, epochs=3)),
+        ("churn-matrix", "sim", dict(universe_n=10, epochs=5, churn=matrix)),
+        (
+            "crash-handoff",
+            "sim",
+            dict(
+                universe_n=8,
+                epochs=4,
+                churn="join:7@1;leave:0@3",
+                base_f=1,
+                crash={1: {"indices": (2,), "after": 12, "delay": 4.0}},
+            ),
+        ),
+        (
+            "partition-handoff",
+            "sim",
+            dict(
+                universe_n=8,
+                epochs=4,
+                churn="join:7@1;leave:0@3",
+                base_f=1,
+                chaos={2: "partition:0,1|2,3,4,5,6,7@3-9"},
+            ),
+        ),
+    ]
+    if include_realtime:
+        for transport in ("asyncio", "tcp"):
+            cases.append(
+                (
+                    f"churn-{transport}",
+                    transport,
+                    dict(
+                        universe_n=7,
+                        epochs=3,
+                        churn="join:6@1;leave:0@2",
+                        base_f=1,
+                    ),
+                )
+            )
+    rows = []
+    for name, transport, kwargs in cases:
+        report = run_churn(
+            kwargs.pop("universe_n"), transport=transport, seed=seed, **kwargs
+        )
+        membership = report.membership
+        sizes = [len(result.committee) for result in membership.results]
+        events = kwargs.get("churn", "")
+        rows.append(
+            {
+                "experiment": "E18",
+                "case": name,
+                "transport": transport,
+                "epochs": len(membership.results),
+                "handoffs": membership.handoffs,
+                "joins": events.count("join:"),
+                "leaves": events.count("leave:"),
+                "committee_n": f"{min(sizes)}..{max(sizes)}",
+                "key_invariant": membership.key_invariant,
+                "chain_verified": report.all_verified,
+                "wall_s": round(membership.wall_clock_s, 2),
+            }
+        )
+        if not (membership.key_invariant and report.all_verified):
+            raise RuntimeError(
+                f"E18 gate: case {name!r} broke the key-invariance invariant"
+            )
     return rows
 
 

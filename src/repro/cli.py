@@ -30,7 +30,7 @@ def _parse_at(spec: str, flag: str) -> tuple[int, float]:
         raise SystemExit(2)  # usage error, matching the sibling validations
 
 
-def _cmd_run_with_recovery(args: argparse.Namespace) -> int:
+def _cmd_run_with_recovery(args: argparse.Namespace, chaos=None) -> int:
     """``repro run --crash i@t [--recover i@t]``: the durable-recovery path."""
     import time
 
@@ -64,6 +64,7 @@ def _cmd_run_with_recovery(args: argparse.Namespace) -> int:
             storage_dir=args.storage_dir,
             batching=not args.no_batching,
             timeout=args.timeout,
+            chaos=chaos,
         )
     except (TimeoutError, OSError, RuntimeError, ValueError) as exc:
         # ValueError also covers the storage layer's StorageError
@@ -94,6 +95,112 @@ def _cmd_run_with_recovery(args: argparse.Namespace) -> int:
     print(f"words sent:        {report['words_total']:,}")
     print(f"wall clock:        {elapsed:.2f}s")
     return 0 if report["agreement"] and report["valid"] else 1
+
+
+def _render_churn_epochs(membership, unit: str) -> None:
+    """Per-epoch committee lines shared by ``run --reshare`` and ``beacon``."""
+    for result in membership.results:
+        mode = "adkg" if result.epoch == 0 else "reshare"
+        overlays = ""
+        if result.epoch in membership.chaos_epochs:
+            overlays += " +chaos"
+        if result.epoch in membership.crash_epochs:
+            overlays += " +crash"
+        print(
+            f"epoch {result.epoch} ({mode}): "
+            f"committee={list(result.committee)} f={result.threshold} "
+            f"[{result.started_at:.1f}, {result.completed_at:.1f}] {unit}"
+            f"{overlays}"
+        )
+
+
+def _cmd_churn(args: argparse.Namespace, *, epochs: int, rounds: int, chaos) -> int:
+    """``repro run --reshare`` / ``repro beacon --churn``: handoff epochs."""
+    import time
+
+    from repro.service import run_churn
+
+    # One CLI chaos spec applies to every handoff epoch (the interesting
+    # window — epoch 0 is the plain ADKG the existing --chaos flag covers).
+    chaos_map = (
+        {epoch: chaos for epoch in range(1, epochs)} if chaos is not None else None
+    )
+    started = time.perf_counter()
+    try:
+        report = run_churn(
+            args.n,
+            epochs=epochs,
+            churn=args.churn,
+            rounds_per_epoch=rounds,
+            transport=args.transport,
+            seed=args.seed,
+            timeout=args.timeout,
+            chaos=chaos_map,
+        )
+    except (TimeoutError, OSError, RuntimeError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    elapsed = time.perf_counter() - started
+    membership = report.membership
+    unit = "rounds" if args.transport == "sim" else "s"
+    print(
+        f"universe={membership.universe_n} transport={membership.transport} "
+        f"seed={membership.seed} epochs={len(membership.results)} "
+        f"handoffs={membership.handoffs}"
+    )
+    _render_churn_epochs(membership, unit)
+    for output in report.outputs:
+        print(f"  beacon {output.epoch}.{output.round}: {output.value:032x}")
+    print(f"group key:          {membership.key_encoded.hex()[:40]}")
+    print(f"key invariant:      {membership.key_invariant}")
+    print(f"chain verified:     {report.all_verified}")
+    print(f"wall clock:         {elapsed:.2f}s")
+    return 0 if report.all_verified else 1
+
+
+def _cmd_sharded_churn(args: argparse.Namespace, *, epochs: int, rounds: int) -> int:
+    """``repro beacon --churn --groups k``: per-group handoffs, one beacon."""
+    import time
+
+    from repro.service import run_sharded_churn
+
+    if args.group_size is not None:
+        universe = args.groups * args.group_size
+    else:
+        universe = args.n
+    started = time.perf_counter()
+    try:
+        report = run_sharded_churn(
+            universe,
+            args.groups,
+            epochs=epochs,
+            churn=args.churn,
+            rounds_per_epoch=rounds,
+            transport=args.transport,
+            seed=args.seed,
+            timeout=args.timeout,
+        )
+    except (TimeoutError, OSError, RuntimeError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    elapsed = time.perf_counter() - started
+    print(
+        f"universe={report.universe} groups={report.groups} "
+        f"transport={report.transport} seed={report.seed} "
+        f"epochs={report.epochs}"
+    )
+    for gid, group_report in enumerate(report.group_reports):
+        committees = report.committees(gid)
+        print(
+            f"group {gid}: key_invariant={group_report.key_invariant} "
+            f"committees={[list(c) for c in committees]}"
+        )
+    for output in report.combined:
+        print(f"  beacon {output.epoch}.{output.round}: {output.value:032x}")
+    print(f"per-group keys invariant:  {report.key_invariant}")
+    print(f"combined chain verified:   {report.all_verified}")
+    print(f"wall clock:                {elapsed:.2f}s")
+    return 0 if report.all_verified else 1
 
 
 def _cmd_sharded(args: argparse.Namespace, *, epochs: int, rounds: int) -> int:
@@ -171,12 +278,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
             or args.crash
             or args.workers
             or args.no_batching
+            or args.reshare is not None
         )
         if incompatible:
             print(
                 "error: --groups is incompatible with --full/--profile/"
-                "--chaos/--crash/--workers/--no-batching (groups parallelize "
-                "per shard, not per verify)",
+                "--chaos/--crash/--workers/--no-batching/--reshare (groups "
+                "parallelize per shard, not per verify; churn a sharded "
+                "service with `repro beacon --churn --groups`)",
                 file=sys.stderr,
             )
             return 2
@@ -199,14 +308,32 @@ def _cmd_run(args: argparse.Namespace) -> int:
         except ValueError as exc:
             print(f"error: --chaos: {exc}", file=sys.stderr)
             return 2
-    if args.crash:
-        if args.full or args.profile or chaos is not None:
+    if args.churn and args.reshare is None:
+        print("error: --churn requires --reshare EPOCHS", file=sys.stderr)
+        return 2
+    if args.reshare is not None:
+        if args.reshare < 1:
+            print("error: --reshare expects >= 1 epochs", file=sys.stderr)
+            return 2
+        if args.full or args.profile or args.crash or args.workers or args.no_batching:
             print(
-                "error: --crash is incompatible with --full/--profile/--chaos",
+                "error: --reshare is incompatible with --full/--profile/"
+                "--crash/--workers/--no-batching",
                 file=sys.stderr,
             )
             return 2
-        return _cmd_run_with_recovery(args)
+        return _cmd_churn(args, epochs=args.reshare, rounds=1, chaos=chaos)
+    if args.crash:
+        # Chaos composes with crash-recovery: the link-fault plane wraps
+        # the same delivery seam the freeze/thaw hooks use, so a party
+        # can replay its WAL into a still-degraded network.
+        if args.full or args.profile:
+            print(
+                "error: --crash is incompatible with --full/--profile",
+                file=sys.stderr,
+            )
+            return 2
+        return _cmd_run_with_recovery(args, chaos=chaos)
     profiler = None
     if args.profile:
         import cProfile
@@ -307,7 +434,11 @@ def _cmd_beacon(args: argparse.Namespace) -> int:
         status = _check_shard_flags(args)
         if status:
             return status
+        if args.churn is not None:
+            return _cmd_sharded_churn(args, epochs=args.epochs, rounds=args.rounds)
         return _cmd_sharded(args, epochs=args.epochs, rounds=args.rounds)
+    if args.churn is not None:
+        return _cmd_churn(args, epochs=args.epochs, rounds=args.rounds, chaos=None)
     try:
         report = run_beacon(
             n=args.n,
@@ -500,6 +631,22 @@ def build_parser() -> argparse.ArgumentParser:
         "together at the largest requested T (default 5)",
     )
     run_p.add_argument(
+        "--reshare",
+        type=int,
+        default=None,
+        metavar="EPOCHS",
+        help="run EPOCHS membership epochs: a fresh ADKG, then proactive "
+        "resharing handoffs that keep the group key byte-identical "
+        "(DESIGN section 13); --chaos applies to the handoff epochs",
+    )
+    run_p.add_argument(
+        "--churn",
+        metavar="SPEC",
+        help="committee churn schedule for --reshare, e.g. "
+        "'join:6@1;leave:0@2;threshold:1@3' (event@epoch; epochs are 1-based "
+        "because epoch 0 establishes the key)",
+    )
+    run_p.add_argument(
         "--cadence",
         type=int,
         default=16,
@@ -542,6 +689,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=120.0,
         help="per-epoch wall-clock limit for realtime transports (seconds)",
+    )
+    beacon_p.add_argument(
+        "--churn",
+        metavar="SPEC",
+        help="drive --epochs as membership epochs under this churn schedule "
+        "(e.g. 'join:6@1;leave:0@2'); keys hand off by proactive resharing, "
+        "and with --groups each shard runs the schedule on its local indices",
     )
     _add_shard_arguments(beacon_p)
     beacon_p.set_defaults(func=_cmd_beacon)

@@ -90,15 +90,33 @@ def _message_point(directory: PublicDirectory, message: Any) -> GroupElement:
 def EvalSh(
     directory: PublicDirectory,
     secret: PartySecret,
-    transcript: pvss.PVSSTranscript,
+    transcript: Any,
     message: Any,
 ) -> EvalShare:
-    """Party's evaluation share ``e(H(m), g)^{F(i)}`` from its encrypted share."""
+    """Party's evaluation share ``e(H(m), g)^{F(i)}`` from its encrypted share.
+
+    Dispatches on the transcript kind: a fresh-ADKG
+    :class:`~repro.crypto.pvss.PVSSTranscript` carries full encrypted
+    shares ``Ŝ_i``; a reshared transcript
+    (:class:`~repro.crypto.reshare.ReshareTranscript`) carries encrypted
+    *deltas* ``Δ_i = epk_i^{F'(i+1) - F'(0)}`` plus the public key, so
+    the share is ``e(H(m), Δ_i)^{1/esk_i} · e(H(m), A'_0)``.  Either way
+    the result is ``e(H(m), g)^{F(i+1)}`` and verifies via the same
+    :func:`EvalShVerify` pairing check against ``share_commitment``.
+    """
     group = directory.pair_group
     point = _message_point(directory, message)
+    inverse = group.scalar_field.inv(secret.enc_sk)
+    deltas = getattr(transcript, "cipher_deltas", None)
+    if deltas is not None:
+        paired = group.pair(point, deltas[secret.index])
+        value = group.mul(
+            group.exp(paired, inverse),
+            group.pair(point, transcript.public_key),
+        )
+        return EvalShare(party=secret.index, value=value)
     cipher = transcript.cipher_shares[secret.index]
     paired = group.pair(point, cipher)
-    inverse = group.scalar_field.inv(secret.enc_sk)
     return EvalShare(party=secret.index, value=group.exp(paired, inverse))
 
 

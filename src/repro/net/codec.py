@@ -952,6 +952,12 @@ def _register_builtins() -> None:
     from repro.crypto.kzg import KZGOpening
     from repro.crypto.merkle import MerkleProof
     from repro.crypto.pvss import ContributorTag, PVSSContribution, PVSSTranscript
+    from repro.crypto.reshare import (
+        HandoffSpec,
+        ReshareBundle,
+        ReshareDealing,
+        ReshareTranscript,
+    )
     from repro.crypto.scalar_pvss import DecryptedShare, ScalarDealing
     from repro.crypto.shamir import ShamirShare
     from repro.crypto.threshold_enc import Ciphertext, DecryptionShare
@@ -959,6 +965,7 @@ def _register_builtins() -> None:
     from repro.crypto.threshold_vrf import EvalShare
     from repro.core.certificates import KeyTuple, SignedVote
     from repro.core.adkg import ADKGShare
+    from repro.core.reshare import ReshareDealingMsg
     from repro.core.nwh import (
         BlameMsg,
         CommitMsg,
@@ -997,6 +1004,10 @@ def _register_builtins() -> None:
     register(ScalarDealing, 36)
     register(DecryptedShare, 37)
     register(ShamirShare, 38)
+    register(HandoffSpec, 39)
+    register(ReshareDealing, 40)
+    register(ReshareBundle, 41)
+    register(ReshareTranscript, 42)
     # Protocol payloads.
     register(BrachaVal, 64)
     register(BrachaEcho, 65)
@@ -1018,3 +1029,4 @@ def _register_builtins() -> None:
     register(Aux, 81)
     register(CoinShareMsg, 82)
     register(Decided, 83)
+    register(ReshareDealingMsg, 84)

@@ -34,28 +34,50 @@ from repro.service.beacon import (
     run_beacon,
 )
 from repro.service.epochs import EpochDriver, EpochResult
+from repro.service.membership import (
+    ChurnBeacon,
+    ChurnEvent,
+    ChurnReport,
+    MembershipDriver,
+    MembershipSchedule,
+    committee_setup,
+    parse_churn,
+    run_churn,
+)
 from repro.service.shards import (
     CombinedOutput,
     GroupCoordinator,
     GroupResult,
+    ShardChurnReport,
     ShardedBeacon,
     ShardExecutor,
     ShardReport,
     run_sharded,
+    run_sharded_churn,
 )
 
 __all__ = [
     "BeaconOutput",
     "BeaconReport",
+    "ChurnBeacon",
+    "ChurnEvent",
+    "ChurnReport",
     "CombinedOutput",
     "EpochDriver",
     "EpochResult",
     "GroupCoordinator",
     "GroupResult",
+    "MembershipDriver",
+    "MembershipSchedule",
     "RandomnessBeacon",
+    "ShardChurnReport",
     "ShardExecutor",
     "ShardReport",
     "ShardedBeacon",
+    "committee_setup",
+    "parse_churn",
     "run_beacon",
+    "run_churn",
     "run_sharded",
+    "run_sharded_churn",
 ]

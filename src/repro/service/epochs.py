@@ -55,6 +55,12 @@ class EpochResult:
     outputs: dict[int, Any]
     started_at: float
     completed_at: float
+    #: Who held the key this epoch: universe-level member ids (defaults
+    #: to the transport's full party range for fixed-committee runs) and
+    #: the epoch's fault threshold ``f``.  Reports and the beacon chain
+    #: record these so an observer can audit *who* signed each epoch.
+    committee: tuple = ()
+    threshold: int = -1
 
     @property
     def public_key(self) -> Any:
@@ -84,6 +90,8 @@ class EpochDriver:
         gc_completed: bool = True,
         timeout: float = 120.0,
         max_steps_per_epoch: int = 5_000_000,
+        committee: Optional[tuple] = None,
+        threshold: Optional[int] = None,
     ) -> None:
         if epochs < 1:
             raise ValueError("epochs must be >= 1")
@@ -97,6 +105,8 @@ class EpochDriver:
         self.gc_completed = gc_completed
         self.timeout = timeout
         self.max_steps_per_epoch = max_steps_per_epoch
+        self.committee = tuple(committee) if committee is not None else None
+        self.threshold = threshold
         self.results: list[EpochResult] = []
         self._started_at: dict[int, float] = {}
 
@@ -169,6 +179,12 @@ class EpochDriver:
             # Agreement is Theorem 5; a split here is an engine bug, not
             # a condition to paper over.
             raise RuntimeError(f"honest parties disagree in session {sid}")
+        committee = self.committee
+        if committee is None:
+            committee = tuple(range(getattr(self.transport, "n", len(outputs))))
+        threshold = self.threshold
+        if threshold is None:
+            threshold = getattr(self.transport, "f", -1)
         result = EpochResult(
             epoch=epoch,
             session=sid,
@@ -176,6 +192,8 @@ class EpochDriver:
             outputs=outputs,
             started_at=self._started_at[epoch],
             completed_at=now,
+            committee=committee,
+            threshold=threshold,
         )
         self.results.append(result)
         if self.gc_completed:

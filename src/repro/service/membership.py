@@ -1,0 +1,703 @@
+"""Dynamic membership: committee churn with a proactively reshared key.
+
+The production story the ROADMAP asks for: one group key that *outlives*
+any particular committee.  A :class:`MembershipSchedule` describes how a
+universe of keyed parties rotates through per-epoch committees (joins,
+leaves, threshold changes); the :class:`MembershipDriver` runs epoch 0
+as a fresh ADKG and every later epoch as a
+:class:`~repro.core.reshare.ReshareAgreement` handoff session on the
+*new* committee's own transport — the old committee's dealings
+(:func:`repro.crypto.reshare.deal_reshare`) are published before the
+handoff and injected as initial inputs, so departing parties need not
+stick around.  Per-epoch faults compose: a crash-recover overlay runs
+the handoff through :func:`repro.storage.recovery.run_crash_recovery`
+(PR 5's WAL machinery rehydrates a party mid-handoff) and a chaos spec
+(PR 7) attaches to that epoch's transport; either way the acceptance
+invariant is the same — **the group public key is byte-identical before
+and after every handoff**.
+
+:class:`ChurnBeacon` extends the randomness beacon across committee
+changes: each epoch's rounds are evaluated under that epoch's directory
+(the per-epoch session label domain-separates VRF inputs) and chained
+through ``prev`` links from genesis, so one verification walk spans
+every handoff.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+import time
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from repro.core.adkg import ADKG
+from repro.core.reshare import ReshareAgreement
+from repro.crypto import reshare, threshold_vrf as tvrf
+from repro.crypto.keys import PartySecret, PublicDirectory, TrustedSetup
+from repro.net.delays import FixedDelay
+from repro.net.party import Party
+from repro.net.protocol import Protocol
+from repro.net.transport import make_transport
+from repro.service.beacon import GENESIS, BeaconOutput
+from repro.service.epochs import EpochDriver, EpochResult
+
+__all__ = [
+    "ChurnBeacon",
+    "ChurnEvent",
+    "ChurnReport",
+    "EpochSpec",
+    "MembershipDriver",
+    "MembershipSchedule",
+    "committee_setup",
+    "parse_churn",
+    "run_churn",
+]
+
+
+# -- schedules -----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One membership change: ``join``/``leave`` a party or set ``threshold``."""
+
+    kind: str
+    value: int
+    epoch: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("join", "leave", "threshold"):
+            raise ValueError(f"unknown churn event kind {self.kind!r}")
+        if self.epoch < 1:
+            raise ValueError(
+                "churn events apply from epoch 1 on (epoch 0 is the fresh ADKG)"
+            )
+
+
+_EVENT_RE = re.compile(r"^(join|leave|threshold):(\d+)@(\d+)$")
+
+
+def parse_churn(spec: str) -> tuple[ChurnEvent, ...]:
+    """Parse the CLI mini-language: ``join:7@1;leave:2@2;threshold:1@3``.
+
+    Each clause is ``kind:value@epoch`` — party id for join/leave, the
+    new ``f`` for threshold — applied when entering that epoch.
+    """
+    events = []
+    for clause in spec.split(";"):
+        clause = clause.strip()
+        if not clause:
+            continue
+        match = _EVENT_RE.match(clause)
+        if match is None:
+            raise ValueError(
+                f"bad churn clause {clause!r} (want kind:value@epoch, "
+                "kind in join/leave/threshold)"
+            )
+        kind, value, epoch = match.groups()
+        events.append(ChurnEvent(kind=kind, value=int(value), epoch=int(epoch)))
+    if not events:
+        raise ValueError("empty churn spec")
+    return tuple(events)
+
+
+@dataclass(frozen=True)
+class EpochSpec:
+    """One epoch's committee: universe member ids plus its threshold."""
+
+    epoch: int
+    members: tuple[int, ...]
+    f: int
+
+    @property
+    def n(self) -> int:
+        return len(self.members)
+
+
+@dataclass(frozen=True)
+class MembershipSchedule:
+    """A fully resolved per-epoch committee plan over a party universe."""
+
+    universe_n: int
+    epochs: tuple[EpochSpec, ...]
+
+    @classmethod
+    def build(
+        cls,
+        universe_n: int,
+        epochs: int,
+        events: Sequence[ChurnEvent] = (),
+        *,
+        base_members: Optional[Sequence[int]] = None,
+        base_f: Optional[int] = None,
+    ) -> "MembershipSchedule":
+        """Resolve events into concrete committees, validating every epoch.
+
+        ``base_members`` defaults to the whole universe *minus* parties
+        that join later — so a plain ``join:…`` spec works without
+        hand-picking the starting committee.  Every epoch must satisfy
+        ``n >= 3f + 1``; a leave-heavy schedule needs a ``threshold``
+        event (or a smaller ``base_f``) to stay valid, and the error
+        says so rather than silently adjusting.
+        """
+        if epochs < 1:
+            raise ValueError("need at least one epoch")
+        for event in events:
+            if event.epoch >= epochs:
+                raise ValueError(
+                    f"event {event} is beyond the last epoch {epochs - 1}"
+                )
+            if event.kind in ("join", "leave") and not 0 <= event.value < universe_n:
+                raise ValueError(f"event {event} names a party outside the universe")
+        if base_members is None:
+            joiners = {e.value for e in events if e.kind == "join"}
+            base_members = [m for m in range(universe_n) if m not in joiners]
+        members = list(dict.fromkeys(base_members))
+        if len(members) != len(list(base_members)):
+            raise ValueError("duplicate base members")
+        if any(not 0 <= m < universe_n for m in members):
+            raise ValueError("base member outside the universe")
+        f = base_f if base_f is not None else (len(members) - 1) // 3
+        specs = []
+        for epoch in range(epochs):
+            for event in events:
+                if event.epoch != epoch:
+                    continue
+                if event.kind == "join":
+                    if event.value in members:
+                        raise ValueError(f"{event}: party already a member")
+                    members.append(event.value)
+                elif event.kind == "leave":
+                    if event.value not in members:
+                        raise ValueError(f"{event}: party not a member")
+                    members.remove(event.value)
+                else:
+                    f = event.value
+            if len(members) < 3 * f + 1:
+                raise ValueError(
+                    f"epoch {epoch}: n={len(members)} < 3f+1 with f={f}; "
+                    "add a threshold event or shrink base_f"
+                )
+            specs.append(EpochSpec(epoch=epoch, members=tuple(members), f=f))
+        return cls(universe_n=universe_n, epochs=tuple(specs))
+
+    def __iter__(self):
+        return iter(self.epochs)
+
+    def __len__(self) -> int:
+        return len(self.epochs)
+
+
+def committee_setup(
+    universe: TrustedSetup,
+    members: Sequence[int],
+    f: int,
+    session: str,
+) -> TrustedSetup:
+    """Slice the universe PKI down to one epoch's committee.
+
+    Parties keep their long-lived universe keys; only the *local* index
+    changes (directory positions are committee-relative, exactly as a
+    shard group's are).  The per-epoch ``session`` label domain-separates
+    every signature, SCRAPE seed and VRF input of the epoch.
+    """
+    base = universe.directory
+    members = tuple(members)
+    directory = PublicDirectory(
+        n=len(members),
+        f=f,
+        params=base.params,
+        sign_group=base.sign_group,
+        pair_group=base.pair_group,
+        sign_pks=tuple(base.sign_pks[m] for m in members),
+        enc_pks=tuple(base.enc_pks[m] for m in members),
+        session=session,
+    )
+    secrets = tuple(
+        PartySecret(
+            index=local,
+            sign=universe.secret(member).sign,
+            enc_sk=universe.secret(member).enc_sk,
+        )
+        for local, member in enumerate(members)
+    )
+    return TrustedSetup(directory, secrets)
+
+
+# -- the driver ----------------------------------------------------------------------
+
+
+@dataclass
+class MembershipReport:
+    """Everything one membership run produced: epochs, key, fault overlays."""
+
+    universe_n: int
+    transport: str
+    seed: int
+    schedule: MembershipSchedule
+    results: list[EpochResult] = field(default_factory=list)
+    #: Per-epoch committee setups (runtime objects; needed to verify the
+    #: churn beacon and to chain further handoffs).
+    setups: dict[int, TrustedSetup] = field(default_factory=dict)
+    key: Any = None
+    key_encoded: bytes = b""
+    key_invariant: bool = False
+    crash_epochs: tuple[int, ...] = ()
+    chaos_epochs: tuple[int, ...] = ()
+    replay: dict = field(default_factory=dict)
+    wall_clock_s: float = 0.0
+
+    @property
+    def agreed(self) -> bool:
+        return bool(self.results) and all(r.agreed for r in self.results)
+
+    @property
+    def handoffs(self) -> int:
+        return max(0, len(self.results) - 1)
+
+    @property
+    def contexts(self) -> dict[int, tuple[PublicDirectory, Any]]:
+        """Per-epoch ``(directory, transcript)`` for beacon verification."""
+        return {
+            result.epoch: (
+                self.setups[result.epoch].directory,
+                result.transcript,
+            )
+            for result in self.results
+        }
+
+
+class MembershipDriver:
+    """Run a membership schedule: ADKG once, then reshare handoffs.
+
+    ``chaos`` and ``crash`` are per-epoch overlays: ``chaos`` maps epoch
+    → a chaos spec (anything :func:`repro.net.chaos.coerce_chaos`
+    accepts) attached to that epoch's transport; ``crash`` maps epoch →
+    ``{"indices": (i, ...), "after": deliveries, "delay": t}`` and runs
+    that epoch through the PR 5 crash-recovery machinery, WAL-ing the
+    handoff state of the crashed parties.
+    """
+
+    def __init__(
+        self,
+        universe: TrustedSetup,
+        schedule: MembershipSchedule,
+        *,
+        transport: str = "sim",
+        seed: int = 0,
+        session_base: Optional[str] = None,
+        timeout: float = 120.0,
+        max_steps: int = 5_000_000,
+        chaos: Optional[dict] = None,
+        crash: Optional[dict] = None,
+        cadence: int = 16,
+        storage_dir: Optional[str] = None,
+    ) -> None:
+        self.universe = universe
+        self.schedule = schedule
+        self.transport = transport
+        self.seed = seed
+        self.session_base = (
+            session_base
+            if session_base is not None
+            else f"{universe.directory.session}-churn-{seed}"
+        )
+        self.timeout = timeout
+        self.max_steps = max_steps
+        self.chaos = dict(chaos or {})
+        self.crash = dict(crash or {})
+        self.cadence = cadence
+        self.storage_dir = storage_dir
+
+    # -- deterministic derivations ---------------------------------------------------
+
+    def epoch_session(self, epoch: int) -> str:
+        return f"{self.session_base}-epoch-{epoch}"
+
+    def epoch_seed(self, epoch: int) -> int:
+        # Distinct per epoch so per-party RNG streams never repeat
+        # across the fresh transports of consecutive epochs.
+        return self.seed * 1009 + epoch
+
+    def handoff_spec(
+        self, epoch: int, old: TrustedSetup, old_transcript: Any
+    ) -> reshare.HandoffSpec:
+        return reshare.HandoffSpec(
+            epoch=epoch,
+            old_session=old.directory.session,
+            old_n=old.directory.n,
+            old_f=old.directory.f,
+            old_sign_pks=old.directory.sign_pks,
+            old_commitments=old_transcript.commitments,
+        )
+
+    def dealings(
+        self, spec: reshare.HandoffSpec, old: TrustedSetup, new: TrustedSetup
+    ) -> tuple[reshare.ReshareDealing, ...]:
+        """Every old member's dealing, derived from per-dealer seeded RNG.
+
+        "Published before leaving": the driver collects these from the
+        old committee up front, so the handoff session never depends on
+        a departed party being reachable.
+        """
+        return tuple(
+            reshare.deal_reshare(
+                new.directory,
+                spec,
+                old.secret(dealer),
+                random.Random(
+                    ("reshare-deal", self.seed, spec.epoch, dealer).__repr__()
+                ),
+            )
+            for dealer in range(old.directory.n)
+        )
+
+    @staticmethod
+    def initial_holdings(
+        dealings: Sequence[reshare.ReshareDealing], new_n: int
+    ) -> dict[int, tuple]:
+        """Round-robin assignment of published dealings to new parties.
+
+        Every dealing lands at exactly one initial holder, who fans it
+        out on start; with ``n_old ≥ 3 f_old + 1`` dealings spread over
+        the committee, ``f_old + 1`` of them survive any tolerated fault
+        pattern (a tampered relay fails the dealer's signature).
+        """
+        holdings: dict[int, list] = {j: [] for j in range(new_n)}
+        for index, dealing in enumerate(dealings):
+            holdings[index % new_n].append(dealing)
+        return {j: tuple(ds) for j, ds in holdings.items()}
+
+    # -- epoch execution -------------------------------------------------------------
+
+    def run(self) -> MembershipReport:
+        started = time.perf_counter()
+        report = MembershipReport(
+            universe_n=self.universe.directory.n,
+            transport=self.transport,
+            seed=self.seed,
+            schedule=self.schedule,
+            crash_epochs=tuple(sorted(self.crash)),
+            chaos_epochs=tuple(sorted(self.chaos)),
+        )
+        group = self.universe.directory.pair_group
+        prev_setup: Optional[TrustedSetup] = None
+        prev_transcript: Any = None
+        for spec in self.schedule:
+            setup = committee_setup(
+                self.universe, spec.members, spec.f, self.epoch_session(spec.epoch)
+            )
+            if spec.epoch == 0:
+                root_factory: Any = lambda party: ADKG()
+            else:
+                hspec = self.handoff_spec(spec.epoch, prev_setup, prev_transcript)
+                holdings = self.initial_holdings(
+                    self.dealings(hspec, prev_setup, setup), spec.n
+                )
+
+                def root_factory(
+                    party: Party, _spec=hspec, _holdings=holdings
+                ) -> Protocol:
+                    return ReshareAgreement(
+                        spec=_spec, initial=_holdings[party.index]
+                    )
+
+            if spec.epoch in self.crash:
+                result = self._run_crash_epoch(spec, setup, root_factory, report)
+            else:
+                result = self._run_epoch(spec, setup, root_factory)
+            report.results.append(result)
+            report.setups[spec.epoch] = setup
+            prev_setup, prev_transcript = setup, result.transcript
+        report.key = report.results[0].public_key
+        report.key_encoded = group.encode_element(report.key)
+        report.key_invariant = all(
+            group.encode_element(result.public_key) == report.key_encoded
+            for result in report.results
+        )
+        report.wall_clock_s = time.perf_counter() - started
+        return report
+
+    def _run_epoch(
+        self, spec: EpochSpec, setup: TrustedSetup, root_factory: Any
+    ) -> EpochResult:
+        kwargs: dict[str, Any] = {}
+        if self.transport == "sim":
+            kwargs["delay_model"] = FixedDelay(1.0)
+        chaos = self.chaos.get(spec.epoch)
+        if chaos is not None:
+            kwargs["chaos"] = chaos
+        runtime = make_transport(
+            self.transport, setup, seed=self.epoch_seed(spec.epoch), **kwargs
+        )
+        driver = EpochDriver(
+            runtime,
+            epochs=1,
+            root_factory=root_factory,
+            timeout=self.timeout,
+            max_steps_per_epoch=self.max_steps,
+            committee=spec.members,
+            threshold=spec.f,
+        )
+        result = driver.run()[0]
+        return EpochResult(
+            epoch=spec.epoch,
+            session=result.session,
+            transcript=result.transcript,
+            outputs=result.outputs,
+            started_at=result.started_at,
+            completed_at=result.completed_at,
+            committee=spec.members,
+            threshold=spec.f,
+        )
+
+    def _run_crash_epoch(
+        self,
+        spec: EpochSpec,
+        setup: TrustedSetup,
+        root_factory: Any,
+        report: MembershipReport,
+    ) -> EpochResult:
+        from repro.storage.recovery import run_crash_recovery
+
+        config = dict(self.crash[spec.epoch])
+        crash_report = run_crash_recovery(
+            transport=self.transport,
+            n=spec.n,
+            seed=self.epoch_seed(spec.epoch),
+            crash_indices=tuple(config.get("indices", (0,))),
+            crash_after=int(config.get("after", 20)),
+            recovery_delay=float(config.get("delay", 3.0)),
+            cadence=self.cadence,
+            root_factory=root_factory,
+            setup=setup,
+            storage_dir=self.storage_dir,
+            timeout=self.timeout,
+            max_steps=self.max_steps,
+            chaos=self.chaos.get(spec.epoch),
+        )
+        if not crash_report["agreement"]:
+            raise RuntimeError(
+                f"crash-recovery epoch {spec.epoch} ended without agreement"
+            )
+        report.replay[spec.epoch] = crash_report["replay"]
+        return EpochResult(
+            epoch=spec.epoch,
+            session=0,
+            transcript=crash_report["transcript"],
+            outputs=dict(crash_report["outputs"]),
+            started_at=0.0,
+            completed_at=crash_report["rounds"],
+            committee=spec.members,
+            threshold=spec.f,
+        )
+
+
+# -- the churn beacon ----------------------------------------------------------------
+
+
+class ChurnBeacon:
+    """A genesis-rooted beacon chain spanning committee changes.
+
+    Unlike :class:`~repro.service.beacon.RandomnessBeacon` (one setup for
+    every epoch), each epoch here evaluates under its *own* directory —
+    the per-epoch session label feeds the VRF message point, and the
+    transcript is either the fresh ADKG's or a reshared one (both expose
+    ``public_key``/``share_commitment``, and
+    :func:`~repro.crypto.threshold_vrf.EvalSh` dispatches on the kind).
+    The ``prev`` links cross handoffs, so the chain proves continuity of
+    the one invariant group key through every committee.
+    """
+
+    def __init__(self, *, rounds_per_epoch: int = 2) -> None:
+        if rounds_per_epoch < 1:
+            raise ValueError("rounds_per_epoch must be >= 1")
+        self.rounds_per_epoch = rounds_per_epoch
+        self.outputs: list[BeaconOutput] = []
+        self._prev = GENESIS
+
+    @staticmethod
+    def _transcript_valid(directory: PublicDirectory, transcript: Any) -> bool:
+        if isinstance(transcript, reshare.ReshareTranscript):
+            return reshare.verify_reshared(directory, transcript)
+        return tvrf.DKGVerify(directory, transcript)
+
+    def emit_epoch(
+        self,
+        epoch: int,
+        setup: TrustedSetup,
+        transcript: Any,
+        *,
+        signers: Optional[Sequence[int]] = None,
+    ) -> list[BeaconOutput]:
+        directory = setup.directory
+        if not self._transcript_valid(directory, transcript):
+            raise ValueError(f"epoch {epoch} transcript does not verify")
+        chosen = (
+            tuple(signers)
+            if signers is not None
+            else tuple(range(directory.f + 1))
+        )
+        emitted = []
+        for round_index in range(self.rounds_per_epoch):
+            message = ("beacon", epoch, round_index, self._prev)
+            shares = []
+            for signer in chosen:
+                share = tvrf.EvalSh(
+                    directory, setup.secret(signer), transcript, message
+                )
+                if tvrf.EvalShVerify(
+                    directory, transcript, signer, message, share
+                ):
+                    shares.append(share)
+            evaluation, proof = tvrf.Eval(directory, transcript, message, shares)
+            if not tvrf.EvalVerify(
+                directory, transcript, message, evaluation, proof
+            ):
+                raise RuntimeError(
+                    f"churn beacon evaluation failed to verify: {message}"
+                )
+            value = tvrf.vrf_output(directory, evaluation)
+            output = BeaconOutput(
+                epoch=epoch,
+                round=round_index,
+                prev=self._prev,
+                value=value,
+                evaluation=evaluation,
+            )
+            emitted.append(output)
+            self.outputs.append(output)
+            self._prev = value
+        return emitted
+
+    @classmethod
+    def verify(
+        cls,
+        output: BeaconOutput,
+        directory: PublicDirectory,
+        transcript: Any,
+    ) -> bool:
+        """Verify one output against its *own epoch's* directory and key."""
+        if not tvrf.EvalVerify(
+            directory, transcript, output.message(), output.evaluation
+        ):
+            return False
+        return tvrf.vrf_output(directory, output.evaluation) == output.value
+
+    @classmethod
+    def verify_chain(
+        cls,
+        outputs: Sequence[BeaconOutput],
+        contexts: dict[int, tuple[PublicDirectory, Any]],
+    ) -> bool:
+        """Genesis-rooted verification across every committee change.
+
+        ``contexts`` maps epoch → ``(directory, transcript)``; the walk
+        additionally pins key invariance — every epoch's transcript must
+        carry the same group key bytes as epoch 0's.
+        """
+        if not contexts:
+            return False
+        anchor_directory, anchor_transcript = contexts[min(contexts)]
+        group = anchor_directory.pair_group
+        anchor_key = group.encode_element(anchor_transcript.public_key)
+        prev = GENESIS
+        for output in outputs:
+            if output.prev != prev:
+                return False
+            context = contexts.get(output.epoch)
+            if context is None:
+                return False
+            directory, transcript = context
+            if not cls._transcript_valid(directory, transcript):
+                return False
+            if group.encode_element(transcript.public_key) != anchor_key:
+                return False
+            if not cls.verify(output, directory, transcript):
+                return False
+            prev = output.value
+        return True
+
+
+# -- one-call entry ------------------------------------------------------------------
+
+
+@dataclass
+class ChurnReport:
+    """A membership run plus its cross-handoff beacon chain."""
+
+    membership: MembershipReport
+    outputs: list[BeaconOutput] = field(default_factory=list)
+    rounds_per_epoch: int = 0
+    all_verified: bool = False
+
+    @property
+    def key_invariant(self) -> bool:
+        return self.membership.key_invariant
+
+    @property
+    def agreed(self) -> bool:
+        return self.membership.agreed
+
+
+def run_churn(
+    universe_n: int = 7,
+    *,
+    epochs: int = 4,
+    events: Sequence[ChurnEvent] = (),
+    churn: Optional[str] = None,
+    base_members: Optional[Sequence[int]] = None,
+    base_f: Optional[int] = None,
+    rounds_per_epoch: int = 2,
+    transport: str = "sim",
+    seed: int = 0,
+    params: str = "TESTING",
+    session: str = "adkg-repro",
+    timeout: float = 120.0,
+    max_steps: int = 5_000_000,
+    chaos: Optional[dict] = None,
+    crash: Optional[dict] = None,
+    storage_dir: Optional[str] = None,
+) -> ChurnReport:
+    """Run a full churn scenario: schedule → handoffs → verified beacon."""
+    if churn is not None:
+        events = tuple(events) + parse_churn(churn)
+    universe = TrustedSetup.generate(
+        universe_n, params=params, seed=seed, session=session
+    )
+    schedule = MembershipSchedule.build(
+        universe_n,
+        epochs,
+        events,
+        base_members=base_members,
+        base_f=base_f,
+    )
+    driver = MembershipDriver(
+        universe,
+        schedule,
+        transport=transport,
+        seed=seed,
+        timeout=timeout,
+        max_steps=max_steps,
+        chaos=chaos,
+        crash=crash,
+        storage_dir=storage_dir,
+    )
+    membership = driver.run()
+    beacon = ChurnBeacon(rounds_per_epoch=rounds_per_epoch)
+    for result in membership.results:
+        beacon.emit_epoch(
+            result.epoch, membership.setups[result.epoch], result.transcript
+        )
+    all_verified = (
+        membership.agreed
+        and membership.key_invariant
+        and ChurnBeacon.verify_chain(beacon.outputs, membership.contexts)
+    )
+    return ChurnReport(
+        membership=membership,
+        outputs=list(beacon.outputs),
+        rounds_per_epoch=rounds_per_epoch,
+        all_verified=all_verified,
+    )

@@ -59,10 +59,12 @@ __all__ = [
     "CombinedOutput",
     "GroupCoordinator",
     "GroupResult",
+    "ShardChurnReport",
     "ShardExecutor",
     "ShardReport",
     "ShardedBeacon",
     "run_sharded",
+    "run_sharded_churn",
     "shutdown_shard_executor",
 ]
 
@@ -73,7 +75,8 @@ SHARD_MODES = ("multiplexed", "sequential", "process")
 #: the version (a worker from a stale fork would otherwise misparse).
 _CONFIG_TAG = "shard-run"
 _RESULT_TAG = "shard-result"
-_WIRE_VERSION = 1
+#: v2: epoch rows carry the committee member tuple + threshold.
+_WIRE_VERSION = 2
 
 
 # -- coordinator ---------------------------------------------------------------------
@@ -267,6 +270,52 @@ class ShardedBeacon:
             return False
         return list(combined) == expected
 
+    @classmethod
+    def verify_chain(
+        cls,
+        group_runs: Sequence[tuple],
+        combined: Sequence[CombinedOutput],
+    ) -> bool:
+        """Verify combined randomness across per-group *committee churn*.
+
+        ``group_runs`` is one ``(outputs, contexts)`` pair per group in
+        gid order — a group's chained beacon stream plus its per-epoch
+        ``{epoch: (directory, transcript)}`` contexts, exactly what a
+        :class:`~repro.service.membership.MembershipReport` exposes.
+        Each group's chain is verified across its own handoffs (key
+        invariance included) by
+        :meth:`~repro.service.membership.ChurnBeacon.verify_chain`, then
+        the combination is recomputed round by round.
+        """
+        from repro.service.membership import ChurnBeacon
+
+        if not group_runs:
+            return False
+        for outputs, contexts in group_runs:
+            if not ChurnBeacon.verify_chain(outputs, contexts):
+                return False
+        lengths = {len(outputs) for outputs, _ in group_runs}
+        if len(lengths) != 1:
+            return False
+        expected = []
+        for index in range(lengths.pop()):
+            rows = [outputs[index] for outputs, _ in group_runs]
+            epoch, round_index = rows[0].epoch, rows[0].round
+            if any(
+                row.epoch != epoch or row.round != round_index for row in rows
+            ):
+                return False
+            values = tuple(row.value for row in rows)
+            expected.append(
+                CombinedOutput(
+                    epoch=epoch,
+                    round=round_index,
+                    values=values,
+                    value=cls.combine_value(epoch, round_index, values),
+                )
+            )
+        return list(combined) == expected
+
 
 # -- the metrics boundary ------------------------------------------------------------
 
@@ -363,6 +412,8 @@ def _run_group_config(config: tuple) -> tuple:
         epochs=epochs,
         session_base=group.session_base,
         timeout=timeout,
+        committee=members,
+        threshold=group.setup.directory.f,
     )
     epoch_results = driver.run()
     if isinstance(runtime, Simulation):
@@ -387,6 +438,8 @@ def _run_group_config(config: tuple) -> tuple:
                 result.outputs,
                 result.started_at,
                 result.completed_at,
+                result.committee,
+                result.threshold,
             )
             for result in epoch_results
         ),
@@ -418,8 +471,19 @@ def _group_result_from_raw(group: ShardGroup, raw: tuple) -> GroupResult:
             outputs=dict(outputs),
             started_at=started_at,
             completed_at=completed_at,
+            committee=tuple(committee),
+            threshold=threshold,
         )
-        for epoch, session, transcript, outputs, started_at, completed_at in epoch_rows
+        for (
+            epoch,
+            session,
+            transcript,
+            outputs,
+            started_at,
+            completed_at,
+            committee,
+            threshold,
+        ) in epoch_rows
     ]
     outputs = [
         BeaconOutput(
@@ -582,6 +646,8 @@ def _run_multiplexed_sim(
                     outputs=outputs,
                     started_at=started,
                     completed_at=sim.honest_completion_time(sid),
+                    committee=groups[gid].members,
+                    threshold=groups[gid].setup.directory.f,
                 )
             )
             sim.collect_session(sid)
@@ -631,6 +697,8 @@ async def _run_multiplexed_realtime(
                     outputs=outputs,
                     started_at=started,
                     completed_at=now,
+                    committee=group.members,
+                    threshold=group.setup.directory.f,
                 )
             )
             transport.collect_session(sid)
@@ -820,4 +888,129 @@ def run_sharded(
         merged=Metrics.merged(result.metrics for result in group_results),
         wall_clock_s=wall_clock_s,
         executor_fallback=executor_fallback,
+    )
+
+
+# -- sharded churn: per-group handoffs, one combined chain ---------------------------
+
+
+@dataclass
+class ShardChurnReport:
+    """k groups, each surviving committee churn, one combined beacon."""
+
+    universe: int
+    groups: int
+    transport: str
+    epochs: int
+    rounds_per_epoch: int
+    seed: int
+    #: Universe party ids per group (gid order).
+    group_members: tuple[tuple[int, ...], ...] = ()
+    #: Per-group churn runs (``repro.service.membership.ChurnReport``).
+    group_reports: list = field(default_factory=list)
+    combined: list[CombinedOutput] = field(default_factory=list)
+    all_verified: bool = False
+    wall_clock_s: float = 0.0
+
+    @property
+    def key_invariant(self) -> bool:
+        return bool(self.group_reports) and all(
+            report.key_invariant for report in self.group_reports
+        )
+
+    def committees(self, gid: int) -> list[tuple[int, ...]]:
+        """Per-epoch committees of group ``gid`` as *universe* party ids."""
+        members = self.group_members[gid]
+        return [
+            tuple(members[local] for local in result.committee)
+            for result in self.group_reports[gid].membership.results
+        ]
+
+
+def run_sharded_churn(
+    universe: int = 10,
+    groups: int = 2,
+    *,
+    epochs: int = 3,
+    churn: Optional[str] = None,
+    events: Sequence = (),
+    base_f: Optional[int] = None,
+    rounds_per_epoch: int = 2,
+    transport: str = "sim",
+    seed: int = 0,
+    params: str = "TESTING",
+    timeout: float = 120.0,
+    crash: Optional[dict] = None,
+    chaos: Optional[dict] = None,
+) -> ShardChurnReport:
+    """Drive per-group key handoffs: every shard's key survives its churn.
+
+    The universe is partitioned exactly as :func:`run_sharded` partitions
+    it; each group then runs the *same* churn schedule on its own local
+    indices (``join:2@1`` means "local party 2 of each group joins") so
+    group sizes stay aligned and the per-round beacon streams combine.
+    ``crash``/``chaos`` overlays apply to every group's matching epoch.
+    The combined chain is verified with :meth:`ShardedBeacon.verify_chain`
+    — per-group key invariance across handoffs plus combination
+    recomputation.
+    """
+    from repro.net.sharding import group_seed
+    from repro.service.membership import parse_churn, run_churn
+
+    resolved_events = tuple(events)
+    if churn is not None:
+        resolved_events += parse_churn(churn)
+    assignment = partition_universe(universe, groups, seed)
+    started = time.perf_counter()
+    group_reports = []
+    for gid, members in enumerate(assignment):
+        group_reports.append(
+            run_churn(
+                len(members),
+                epochs=epochs,
+                events=resolved_events,
+                base_f=base_f,
+                rounds_per_epoch=rounds_per_epoch,
+                transport=transport,
+                seed=group_seed(seed, gid),
+                params=params,
+                session=f"sharded-churn-{gid}",
+                timeout=timeout,
+                crash=crash,
+                chaos=chaos,
+            )
+        )
+    wall_clock_s = time.perf_counter() - started
+    combined = []
+    rounds = len(group_reports[0].outputs)
+    for index in range(rounds):
+        rows = [report.outputs[index] for report in group_reports]
+        epoch, round_index = rows[0].epoch, rows[0].round
+        values = tuple(row.value for row in rows)
+        combined.append(
+            CombinedOutput(
+                epoch=epoch,
+                round=round_index,
+                values=values,
+                value=ShardedBeacon.combine_value(epoch, round_index, values),
+            )
+        )
+    group_runs = [
+        (report.outputs, report.membership.contexts) for report in group_reports
+    ]
+    all_verified = all(
+        report.all_verified for report in group_reports
+    ) and ShardedBeacon.verify_chain(group_runs, combined)
+    return ShardChurnReport(
+        universe=universe,
+        groups=groups,
+        transport=transport,
+        epochs=epochs,
+        rounds_per_epoch=rounds_per_epoch,
+        seed=seed,
+        group_members=tuple(tuple(members) for members in assignment),
+        group_reports=group_reports,
+        combined=combined,
+        all_verified=all_verified,
+        wall_clock_s=wall_clock_s,
     )

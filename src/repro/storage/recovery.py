@@ -159,6 +159,7 @@ def run_crash_recovery(
     fsync: bool = False,
     timeout: float = 120.0,
     max_steps: int = 5_000_000,
+    chaos: Any = None,
 ) -> dict[str, Any]:
     """One full crash–recovery scenario on the chosen transport.
 
@@ -191,6 +192,11 @@ def run_crash_recovery(
         )
     setup = setup or TrustedSetup.generate(n, seed=seed)
     kwargs: dict[str, Any] = {"batching": batching}
+    if chaos is not None:
+        # Chaos overlays compose with crash-recovery on every runtime:
+        # the fault plane sits at the shared delivery seam, the recorder
+        # behind it, so WAL contents reflect what was actually delivered.
+        kwargs["chaos"] = chaos
     if transport == "sim":
         kwargs["delay_model"] = delay_model or FixedDelay(1.0)
         kwargs["scheduler"] = scheduler
@@ -241,10 +247,14 @@ def run_crash_recovery(
     transcript = values[0] if values else None
     valid = None
     if transcript is not None and hasattr(transcript, "public_key"):
+        from repro.crypto import reshare
         from repro.crypto import threshold_vrf as tvrf
 
         try:
-            valid = tvrf.DKGVerify(setup.directory, transcript)
+            if isinstance(transcript, reshare.ReshareTranscript):
+                valid = reshare.verify_reshared(setup.directory, transcript)
+            else:
+                valid = tvrf.DKGVerify(setup.directory, transcript)
         except Exception:
             valid = False
     report.update(
@@ -260,6 +270,8 @@ def run_crash_recovery(
             "honest_outputs": len(outputs),
             "agreement": agreement,
             "valid": valid,
+            "transcript": transcript,
+            "outputs": outputs,
             "public_key": getattr(transcript, "public_key", None),
             "words_total": runtime.metrics.words_total,
             "messages_total": runtime.metrics.messages_total,

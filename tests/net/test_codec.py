@@ -20,7 +20,8 @@ from repro.core.nwh import (
     Suggest,
 )
 from repro.core.proposal_election import PEDkgShare, PEEvalShare
-from repro.crypto import nizk, pvss, scalar_pvss, schnorr, shamir
+from repro.core.reshare import ReshareDealingMsg
+from repro.crypto import nizk, pvss, reshare, scalar_pvss, schnorr, shamir
 from repro.crypto import threshold_enc as tenc
 from repro.crypto import threshold_sig as tsig
 from repro.crypto import threshold_vrf as tvrf
@@ -137,6 +138,23 @@ def _sample_values(setup, transcript):
         directory.sign_group, 0, directory.sign_pks, directory.f, rng
     )
     ciphertext = tenc.encrypt(directory, transcript, b"msg", rng)
+    handoff_spec = reshare.HandoffSpec(
+        epoch=1,
+        old_session=directory.session,
+        old_n=directory.n,
+        old_f=directory.f,
+        old_sign_pks=directory.sign_pks,
+        old_commitments=transcript.commitments,
+    )
+    reshare_dealings = tuple(
+        reshare.deal_reshare(
+            directory, handoff_spec, setup.secret(i), random.Random(f"codec-r{i}")
+        )
+        for i in range(directory.f + 1)
+    )
+    reshare_bundle = reshare.ReshareBundle(
+        spec=handoff_spec, dealings=reshare_dealings
+    )
     samples = {
         Envelope: Envelope(
             path=("nwh", ("pe", 1), "gather"),
@@ -213,6 +231,11 @@ def _sample_values(setup, transcript):
             view=1,
         ),
         ADKGShare: ADKGShare(contribution=contribution),
+        reshare.HandoffSpec: handoff_spec,
+        reshare.ReshareDealing: reshare_dealings[0],
+        reshare.ReshareBundle: reshare_bundle,
+        reshare.ReshareTranscript: reshare.finalize(directory, reshare_bundle),
+        ReshareDealingMsg: ReshareDealingMsg(dealing=reshare_dealings[0]),
         BVal: BVal(round_no=1, bit=0),
         Aux: Aux(round_no=1, bit=1),
         CoinShareMsg: CoinShareMsg(round_no=1, share=eval_share),

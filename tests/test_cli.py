@@ -149,3 +149,107 @@ def test_run_crash_flag_validation(capsys):
     assert "never crash" in capsys.readouterr().err
     with pytest.raises(SystemExit):
         main(["run", "-n", "4", "--crash", "zero@30"])
+
+
+def test_run_crash_composes_with_chaos(capsys, tmp_path):
+    """The old --crash/--chaos exclusion is lifted: both planes at once."""
+    code = main(
+        [
+            "run",
+            "-n",
+            "4",
+            "--seed",
+            "1",
+            "--crash",
+            "0@30",
+            "--chaos",
+            "drop:0.03",
+            "--storage-dir",
+            str(tmp_path),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "agreed:            True" in out
+    assert "transcript valid:  True" in out
+
+
+def test_run_reshare_with_churn(capsys):
+    code = main(
+        [
+            "run",
+            "-n",
+            "7",
+            "--seed",
+            "2",
+            "--reshare",
+            "3",
+            "--churn",
+            "join:6@1;leave:0@2",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "epoch 0 (adkg): committee=" in out
+    assert "epoch 1 (reshare): committee=" in out
+    assert "key invariant:      True" in out
+    assert "chain verified:     True" in out
+
+
+def test_run_reshare_flag_validation(capsys):
+    assert main(["run", "-n", "7", "--churn", "join:6@1"]) == 2
+    assert "requires --reshare" in capsys.readouterr().err
+    assert main(["run", "-n", "7", "--reshare", "0"]) == 2
+    assert ">= 1" in capsys.readouterr().err
+    assert main(["run", "-n", "7", "--reshare", "2", "--full"]) == 2
+    assert "incompatible" in capsys.readouterr().err
+    assert main(["run", "-n", "8", "--reshare", "2", "--groups", "2"]) == 2
+    assert "incompatible" in capsys.readouterr().err
+    # A bad churn spec is a clean error, not a traceback.
+    assert main(["run", "-n", "7", "--reshare", "2", "--churn", "grow:1@1"]) == 1
+    assert "bad churn clause" in capsys.readouterr().err
+
+
+def test_beacon_churn(capsys):
+    code = main(
+        [
+            "beacon",
+            "-n",
+            "7",
+            "--seed",
+            "1",
+            "--epochs",
+            "3",
+            "--rounds",
+            "1",
+            "--churn",
+            "join:6@1;leave:0@2",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "handoffs=2" in out
+    assert "beacon 2.0:" in out
+    assert "chain verified:     True" in out
+
+
+def test_beacon_churn_sharded(capsys):
+    code = main(
+        [
+            "beacon",
+            "-n",
+            "8",
+            "--groups",
+            "2",
+            "--epochs",
+            "2",
+            "--seed",
+            "1",
+            "--churn",
+            "join:2@1",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "group 0: key_invariant=True" in out
+    assert "combined chain verified:   True" in out
